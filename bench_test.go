@@ -1,0 +1,271 @@
+package interference
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (in quick mode, so `go test -bench=.` stays tractable) and
+// additionally benchmarks the hot paths of the library: the single-node
+// contention solver, the distributed application engines, model
+// construction, prediction, and the annealing placement search.
+//
+// Mapping to the paper (see DESIGN.md section 4 for the full index):
+//
+//	BenchmarkFigure2  - motivating example, naive vs. real
+//	BenchmarkFigure3  - propagation curves (12 apps)
+//	BenchmarkTable2   - heterogeneity policies (Table 2 / Figure 4)
+//	BenchmarkTable3   - profiling algorithms (Table 3 / Figures 6-7)
+//	BenchmarkTable4   - bubble scores
+//	BenchmarkFigure8  - pairwise validation errors
+//	BenchmarkFigure9  - M.Gems case study
+//	BenchmarkFigure10 - QoS-aware placement
+//	BenchmarkFigure11 - throughput placement (Table 5 / Figure 11)
+//	BenchmarkFigure12 - EC2 propagation curves
+//	BenchmarkTable6   - EC2 heterogeneity policies
+//	BenchmarkFigure13 - EC2 validation errors
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/bubble"
+	"repro/internal/cluster"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+	benchLabErr  error
+)
+
+// lab returns a shared quick-mode lab. Model construction is cached inside
+// the lab, so each benchmark measures the experiment itself (measurement
+// runs, searches, validation co-runs) after a warm first iteration.
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab, benchLabErr = experiments.NewLab(experiments.Config{Seed: 2016, Quick: true})
+	})
+	if benchLabErr != nil {
+		b.Fatal(benchLabErr)
+	}
+	return benchLab
+}
+
+func benchRunner(b *testing.B, id string) {
+	l := lab(b)
+	r, err := experiments.RunnerByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B)  { benchRunner(b, "figure2") }
+func BenchmarkFigure3(b *testing.B)  { benchRunner(b, "figure3") }
+func BenchmarkTable2(b *testing.B)   { benchRunner(b, "table2") }
+func BenchmarkTable3(b *testing.B)   { benchRunner(b, "table3") }
+func BenchmarkTable4(b *testing.B)   { benchRunner(b, "table4") }
+func BenchmarkFigure8(b *testing.B)  { benchRunner(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { benchRunner(b, "figure9") }
+func BenchmarkFigure10(b *testing.B) { benchRunner(b, "figure10") }
+func BenchmarkFigure11(b *testing.B) { benchRunner(b, "figure11") }
+func BenchmarkFigure12(b *testing.B) { benchRunner(b, "figure12") }
+func BenchmarkTable6(b *testing.B)   { benchRunner(b, "table6") }
+func BenchmarkFigure13(b *testing.B) { benchRunner(b, "figure13") }
+
+// ---- micro-benchmarks of the library's hot paths ----
+
+// BenchmarkContentionSolve measures the single-node equilibrium solver,
+// the innermost operation of every measurement.
+func BenchmarkContentionSolve(b *testing.B) {
+	node := contention.DefaultNode()
+	w, err := WorkloadByName("M.milc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	occ := []contention.Occupant{
+		{Name: "app", Prof: w.Prof, Cores: 8},
+		{Name: "bubble", Prof: bubble.Profile(6), Cores: 8},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := contention.Solve(node, occ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBSPRun measures one discrete-event execution of a BSP
+// application across 8 nodes.
+func BenchmarkBSPRun(b *testing.B) {
+	w, err := WorkloadByName("M.milc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := []float64{2, 1, 1, 1, 1.5, 1, 1, 1}
+	net := netsim.TenGbE()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.App.Run(app.Params{Slowdown: sd, Net: net, RNG: sim.NewRNG(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTaskPoolRun measures the dynamic task-scheduling engine
+// (Hadoop-style) with speculation enabled.
+func BenchmarkTaskPoolRun(b *testing.B) {
+	w, err := WorkloadByName("H.KM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := []float64{3, 1, 1, 1, 1, 1, 1, 1}
+	net := netsim.TenGbE()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.App.Run(app.Params{Slowdown: sd, Net: net, RNG: sim.NewRNG(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelPredict measures a single model prediction (policy
+// conversion plus bilinear matrix lookup), the operation the placement
+// search performs thousands of times.
+func BenchmarkModelPredict(b *testing.B) {
+	l := lab(b)
+	m, err := l.Model("M.milc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pressures := []float64{6, 4, 2, 0, 0, 1, 0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictPressures(pressures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildModel measures full model construction (binary-optimized
+// profiling + policy selection + bubble score) for one workload.
+func BenchmarkBuildModel(b *testing.B) {
+	env, err := NewPrivateClusterEnv(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Reps = 2
+	w, err := WorkloadByName("M.zeus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultBuildConfig()
+	cfg.Samples = 15
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := BuildModel(env, w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinaryOptimized measures Algorithm 2 against a synthetic
+// measurer, isolating the profiling logic from simulation cost.
+func BenchmarkBinaryOptimized(b *testing.B) {
+	meas := func(p float64, j int) (float64, error) {
+		return 1 + 0.2*p*float64(j)/(1+float64(j)), nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.BinaryOptimized(meas, bubble.MaxPressure, 8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementSearch measures the annealing search with cheap
+// synthetic predictors, isolating the search from model construction.
+func BenchmarkPlacementSearch(b *testing.B) {
+	type flat struct{ per float64 }
+	pred := func(per float64) core.Predictor {
+		return predictorFunc(func(ps []float64) (float64, error) {
+			var s float64
+			for _, p := range ps {
+				s += p
+			}
+			return 1 + per*s, nil
+		})
+	}
+	_ = flat{}
+	req := placement.Request{
+		NumHosts: 8, SlotsPerHost: 2,
+		Demands: []cluster.Demand{
+			{App: "a", Units: 4}, {App: "b", Units: 4},
+			{App: "c", Units: 4}, {App: "d", Units: 4},
+		},
+		Predictors: map[string]core.Predictor{
+			"a": pred(0.3), "b": pred(0.01), "c": pred(0.02), "d": pred(0.02),
+		},
+		Scores: map[string]float64{"a": 0.5, "b": 0.5, "c": 6, "d": 6},
+	}
+	cfg := placement.DefaultConfig(1)
+	cfg.Iterations = 1000
+	cfg.Restarts = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := placement.Search(req, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// predictorFunc adapts a closure to core.Predictor.
+type predictorFunc func([]float64) (float64, error)
+
+func (f predictorFunc) PredictPressures(ps []float64) (float64, error) { return f(ps) }
+
+// BenchmarkRunPlacement measures a full simulator evaluation of one
+// placement (the expensive truth the model search avoids).
+func BenchmarkRunPlacement(b *testing.B) {
+	env, err := NewPrivateClusterEnv(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Reps = 1
+	reg := map[string]Workload{}
+	var demands []Demand
+	for _, n := range []string{"M.milc", "C.libq", "H.KM", "M.lmps"} {
+		w, err := WorkloadByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg[n] = w
+		demands = append(demands, Demand{App: n, Units: 4})
+	}
+	p, err := cluster.PackedPlacement(8, 2, []cluster.Demand{
+		{App: "M.milc", Units: 4}, {App: "C.libq", Units: 4},
+		{App: "H.KM", Units: 4}, {App: "M.lmps", Units: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunPlacement(p, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

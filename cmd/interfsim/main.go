@@ -1,0 +1,95 @@
+// Command interfsim runs one distributed workload on the simulated
+// consolidated cluster under a chosen interference configuration and
+// prints its raw and normalized execution times.
+//
+// Examples:
+//
+//	interfsim -workload M.lmps -nodes 8 -interfering 2 -pressure 6
+//	interfsim -workload M.milc -ec2 -nodes 32 -interfering 16 -pressure 4
+//	interfsim -workload M.lesl -pressures 8,5,0,0,3,0,0,0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ec2"
+	"repro/internal/measure"
+	"repro/internal/workloads"
+
+	interference "repro"
+)
+
+func main() {
+	var (
+		name        = flag.String("workload", "M.lmps", "workload name (see -list)")
+		nodes       = flag.Int("nodes", 8, "nodes the application spans")
+		interfering = flag.Int("interfering", 1, "nodes carrying a bubble (homogeneous mode)")
+		pressure    = flag.Float64("pressure", 6, "bubble pressure 1-8 (homogeneous mode)")
+		pressureCSV = flag.String("pressures", "", "comma-separated per-node pressures (heterogeneous mode)")
+		useEC2      = flag.Bool("ec2", false, "use the simulated EC2 environment")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		list        = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-8s %-14s engine=%s\n", w.Name, w.Kind, w.App.Engine)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	var env *measure.Env
+	if *useEC2 {
+		env, err = ec2.NewEnv(*seed)
+	} else {
+		env, err = interference.NewPrivateClusterEnv(*seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var pressures []float64
+	if *pressureCSV != "" {
+		for _, tok := range strings.Split(*pressureCSV, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad pressure %q: %w", tok, err))
+			}
+			pressures = append(pressures, v)
+		}
+	} else {
+		pressures, err = measure.HomogeneousPressures(*nodes, *interfering, *pressure)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	raw, err := env.RunWithBubbles(w, pressures)
+	if err != nil {
+		fatal(err)
+	}
+	solo, err := env.Solo(w, len(pressures))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload   %s (%s, engine %s)\n", w.Name, w.Kind, w.App.Engine)
+	fmt.Printf("nodes      %d\n", len(pressures))
+	fmt.Printf("pressures  %v\n", pressures)
+	fmt.Printf("solo       %.3f s\n", solo)
+	fmt.Printf("interfered %.3f s\n", raw)
+	fmt.Printf("normalized %.4f\n", raw/solo)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "interfsim:", err)
+	os.Exit(1)
+}

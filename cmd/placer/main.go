@@ -1,0 +1,137 @@
+// Command placer runs the interference-aware placement search for a mix
+// of four applications on the 8-host cluster, optionally with a QoS
+// constraint, and verifies the chosen placement on the simulator.
+//
+// Examples:
+//
+//	placer -apps M.milc,C.libq,H.KM,M.lmps
+//	placer -apps M.lmps,C.libq,H.KM,N.cg -qos M.lmps -bound 1.25
+//	placer -apps M.milc,C.libq,H.KM,M.lmps -goal worst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/workloads"
+
+	interference "repro"
+)
+
+func main() {
+	var (
+		appsCSV = flag.String("apps", "M.milc,C.libq,H.KM,M.lmps", "comma-separated mix of 4 workloads")
+		qosApp  = flag.String("qos", "", "application to protect with a QoS constraint")
+		bound   = flag.Float64("bound", 1.25, "QoS bound on normalized execution time")
+		goal    = flag.String("goal", "best", "search goal: best or worst")
+		iters   = flag.Int("iters", 4000, "annealing iterations")
+		units   = flag.Int("units", 4, "units per application")
+		naive   = flag.Bool("naive", false, "drive the search with the naive proportional model")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	names := strings.Split(*appsCSV, ",")
+	env, err := interference.NewPrivateClusterEnv(*seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	preds := map[string]interference.Predictor{}
+	scores := map[string]float64{}
+	reg := map[string]workloads.Workload{}
+	var demands []interference.Demand
+	counts := map[string]int{}
+	cfg := interference.DefaultBuildConfig()
+	cfg.Seed = *seed
+	for _, raw := range names {
+		base := strings.TrimSpace(raw)
+		w, err := interference.WorkloadByName(base)
+		if err != nil {
+			fatal(err)
+		}
+		counts[base]++
+		alias := base
+		if counts[base] > 1 {
+			alias = fmt.Sprintf("%s(%d)", base, counts[base])
+			w.Name = alias
+			w.App.Name = alias
+		}
+		fmt.Fprintf(os.Stderr, "profiling %s...\n", base)
+		var pred interference.Predictor
+		var score float64
+		if *naive {
+			nm, err := interference.BuildNaiveModel(env, w, *units)
+			if err != nil {
+				fatal(err)
+			}
+			pred, score = nm, nm.BubbleScore
+		} else {
+			m, err := interference.BuildModel(env, w, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			pred, score = m, m.BubbleScore
+		}
+		preds[alias] = pred
+		scores[alias] = score
+		reg[alias] = w
+		demands = append(demands, interference.Demand{App: alias, Units: *units})
+	}
+
+	req := interference.PlacementRequest{
+		NumHosts: 8, SlotsPerHost: 2,
+		Demands: demands, Predictors: preds, Scores: scores,
+	}
+	pcfg := interference.DefaultPlacementConfig(*seed)
+	pcfg.Iterations = *iters
+	switch *goal {
+	case "best":
+		pcfg.Goal = placement.Best
+	case "worst":
+		pcfg.Goal = placement.Worst
+	default:
+		fatal(fmt.Errorf("unknown goal %q", *goal))
+	}
+	if *qosApp != "" {
+		pcfg.QoS = &interference.QoS{App: *qosApp, MaxNormalized: *bound}
+	}
+	res, err := interference.SearchPlacement(req, pcfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("placement    %s\n", res.Placement)
+	fmt.Printf("objective    %.4f (weighted normalized runtime, model)\n", res.Objective)
+	if pcfg.QoS != nil {
+		fmt.Printf("QoS (model)  %s <= %.2f: %v\n", *qosApp, *bound, res.QoSSatisfied)
+	}
+	fmt.Printf("evaluations  %d\n\n", res.Evaluations)
+
+	outs, err := env.RunPlacement(res.Placement, reg)
+	if err != nil {
+		fatal(err)
+	}
+	tb := report.NewTable("Simulated outcome of the chosen placement",
+		"app", "predicted", "simulated", "units")
+	var appNames []string
+	for a := range outs {
+		appNames = append(appNames, a)
+	}
+	sort.Strings(appNames)
+	for _, a := range appNames {
+		tb.MustAddRow(a, report.Norm(res.Predicted[a]), report.Norm(outs[a].Normalized),
+			fmt.Sprint(res.Placement.UnitsOf(a)))
+	}
+	fmt.Println(tb)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "placer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command profiler builds the full interference model of one workload —
+// propagation matrix, heterogeneity mapping policy, and bubble score — and
+// prints it, together with the profiling cost the chosen algorithm paid.
+//
+// Example:
+//
+//	profiler -workload M.milc -alg binary-optimized -samples 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bubble"
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/report"
+
+	interference "repro"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "M.milc", "workload name")
+		algName = flag.String("alg", "binary-optimized", "profiling algorithm: binary-optimized, binary-brute, full-brute, random-30%, random-50%")
+		samples = flag.Int("samples", 60, "heterogeneous samples for policy selection")
+		nodes   = flag.Int("nodes", 8, "nodes the application spans while profiled")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	env, err := interference.NewPrivateClusterEnv(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := interference.WorkloadByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := interference.DefaultBuildConfig()
+	cfg.Algorithm = alg
+	cfg.Samples = *samples
+	cfg.Nodes = *nodes
+	cfg.Seed = *seed
+	model, err := interference.BuildModel(env, w, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload        %s\n", model.Workload)
+	fmt.Printf("bubble score    %.2f (paper: %.1f)\n", model.BubbleScore, w.TargetBubbleScore)
+	fmt.Printf("best policy     %s (avg err %.2f%%, std %.2f)\n",
+		model.Policy, model.Selection.BestStats.AvgPct, model.Selection.BestStats.StdPct)
+	fmt.Printf("profiling cost  %.1f%% of settings (%s)\n\n", model.ProfilingCostPct, alg)
+
+	headers := []string{"pressure \\ nodes"}
+	for j := 0; j <= *nodes; j++ {
+		headers = append(headers, fmt.Sprint(j))
+	}
+	tb := report.NewTable("Propagation matrix (normalized execution time)", headers...)
+	for i := 0; i < bubble.MaxPressure; i++ {
+		row := []string{fmt.Sprint(i + 1)}
+		for j := 0; j <= *nodes; j++ {
+			row = append(row, report.Norm(model.Matrix.Cell(i, j)))
+		}
+		tb.MustAddRow(row...)
+	}
+	fmt.Println(tb)
+
+	pol := report.NewTable("Heterogeneity policy errors over sampled configurations",
+		"policy", "avg(%)", "std", "min(%)", "max(%)")
+	for _, p := range hetero.AllPolicies() {
+		st := model.Selection.Stats[p]
+		pol.MustAddRow(p.String(), report.F(st.AvgPct, 2), report.F(st.StdPct, 2),
+			report.F(st.MinPct, 2), report.F(st.MaxPct, 2))
+	}
+	fmt.Println(pol)
+}
+
+func parseAlg(s string) (core.Algorithm, error) {
+	for _, a := range []core.Algorithm{
+		core.BinaryOptimized, core.BinaryBrute, core.FullBrute, core.Random30, core.Random50,
+	} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profiler:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Online model refinement: the paper's stated future work. A statically
+// profiled model goes stale when the application's behaviour drifts (new
+// dataset, new binary); the online estimator absorbs production
+// observations and tracks the new behaviour, and raises a re-profiling
+// signal while it is still wrong.
+//
+//	go run ./examples/onlinemodel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hetero"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/stats"
+
+	interference "repro"
+)
+
+func main() {
+	env, err := interference.NewPrivateClusterEnv(23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := interference.WorkloadByName("M.zeus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("profiling M.zeus (static model)...")
+	model, err := interference.BuildModel(env, w, interference.DefaultBuildConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := interference.NewOnlineEstimator(model, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Behaviour drift: a new input dataset makes the application much
+	// more cache-hungry than when it was profiled.
+	drifted := w
+	drifted.Prof.APKI *= 2.2
+	drifted.Prof.WSSMB *= 1.4
+	fmt.Println("the application's behaviour has drifted (2.2x the cache traffic)")
+
+	rng := sim.NewRNG(3)
+	fmt.Printf("\n%-6s %-22s %-22s %-14s\n", "obs", "static model err", "online estimator err", "reprofile?")
+	var staticErrs, onlineErrs []float64
+	for i := 1; i <= 80; i++ {
+		cfg := hetero.SampleConfig(rng.StreamN("obs", i), 8, online.MaxPressure)
+		actual, err := env.NormalizedWithBubbles(drifted, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sv, err := model.PredictPressures(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov, err := est.PredictPressures(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		staticErrs = append(staticErrs, stats.RelErrPct(sv, actual))
+		onlineErrs = append(onlineErrs, stats.RelErrPct(ov, actual))
+		if err := est.Observe(cfg, actual); err != nil {
+			log.Fatal(err)
+		}
+		if i%20 == 0 {
+			fmt.Printf("%-6d %-22s %-22s %-14v\n", i,
+				fmt.Sprintf("%.1f%%", stats.Mean(staticErrs[i-20:])),
+				fmt.Sprintf("%.1f%%", stats.Mean(onlineErrs[i-20:])),
+				est.NeedsReprofile(0.10, 10))
+		}
+	}
+	drift, err := est.Drift()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmatrix drift from the stale profile: %.1f%%\n", 100*drift)
+	fmt.Println("the online estimator converges toward the drifted behaviour while the")
+	fmt.Println("static model keeps mispredicting every placement decision.")
+}

@@ -1,0 +1,68 @@
+// Quickstart: build an interference model for one distributed application
+// and use it to predict performance under interference it has never been
+// profiled against.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	interference "repro"
+)
+
+func main() {
+	// A measurement environment over the paper's private testbed: 8
+	// hosts, 16 cores each, behind a 10 GbE switch. Everything is
+	// simulated, so this runs on a laptop in seconds.
+	env, err := interference.NewPrivateClusterEnv(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// M.milc is a bulk-synchronous SPEC MPI2007 code: interference on a
+	// single of its nodes gates every iteration.
+	w, err := interference.WorkloadByName("M.milc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile it: binary-optimized propagation profiling (Algorithm 2),
+	// 60-sample heterogeneity policy search, bubble-score measurement.
+	cfg := interference.DefaultBuildConfig()
+	model, err := interference.BuildModel(env, w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model for %s:\n", model.Workload)
+	fmt.Printf("  bubble score     %.2f (interference it generates)\n", model.BubbleScore)
+	fmt.Printf("  best policy      %s (heterogeneity conversion)\n", model.Policy)
+	fmt.Printf("  profiling cost   %.1f%% of all interference settings\n\n", model.ProfilingCostPct)
+
+	// Predict: what happens if two of its eight nodes host a heavy
+	// co-runner (pressure 6) and one more a light one (pressure 2)?
+	pressures := []float64{6, 6, 2, 0, 0, 0, 0, 0}
+	predicted, err := model.PredictPressures(pressures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted normalized time under %v: %.3f\n", pressures, predicted)
+
+	// Check the prediction against the simulator (the stand-in for the
+	// paper's real cluster).
+	actual, err := env.NormalizedWithBubbles(w, pressures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated normalized time:             %.3f\n", actual)
+	fmt.Printf("prediction error:                      %.1f%%\n",
+		100*abs(predicted-actual)/actual)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,215 @@
+// Package interference is the public API of this repository: an
+// interference-management toolkit for distributed parallel applications in
+// consolidated clusters, reproducing Han, Jeon, Choi and Huh (ASPLOS 2016).
+//
+// The toolkit models how performance interference on a *subset* of a
+// distributed application's nodes determines its end-to-end latency, and
+// uses that model to place applications on a cluster:
+//
+//	env, _ := interference.NewPrivateClusterEnv(42)
+//	w, _ := interference.WorkloadByName("M.milc")
+//	model, _ := interference.BuildModel(env, w, interference.DefaultBuildConfig())
+//	// Predict the slowdown when nodes 0 and 1 host co-runners of
+//	// bubble score 4 and the rest are quiet:
+//	t, _ := model.PredictPressures([]float64{4, 4, 0, 0, 0, 0, 0, 0})
+//
+// The package re-exports the pieces a downstream user needs: measurement
+// environments (a simulated private cluster and a simulated EC2 slice),
+// the 18 benchmark workloads of the paper's Table 1, model construction
+// (propagation matrix, heterogeneity policy, bubble score), the naive
+// proportional baseline, and the two simulated-annealing placement
+// searches (throughput and QoS). The full experiment suite that
+// regenerates every table and figure of the paper lives in cmd/paperrepro.
+package interference
+
+import (
+	"repro/internal/bubble"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ec2"
+	"repro/internal/hetero"
+	"repro/internal/measure"
+	"repro/internal/online"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/schedule"
+	"repro/internal/workloads"
+)
+
+// Re-exported core types. See the respective internal packages for full
+// documentation; the aliases make the public surface importable without
+// reaching into internal paths.
+type (
+	// Env is a measurement environment over a simulated cluster.
+	Env = measure.Env
+	// Workload is one benchmark application (Table 1).
+	Workload = workloads.Workload
+	// Model is the paper's per-application interference model.
+	Model = core.Model
+	// NaiveModel is the proportional baseline model.
+	NaiveModel = core.NaiveModel
+	// Predictor estimates normalized time from per-node pressures.
+	Predictor = core.Predictor
+	// BuildConfig parameterizes model construction.
+	BuildConfig = core.BuildConfig
+	// Policy is a heterogeneity mapping policy (N max, N+1 max, ...).
+	Policy = hetero.Policy
+	// Matrix is the interference propagation matrix.
+	Matrix = profile.Matrix
+	// Placement assigns application units to hosts.
+	Placement = cluster.Placement
+	// Demand asks for a number of units of one application.
+	Demand = cluster.Demand
+	// PlacementRequest describes a placement problem.
+	PlacementRequest = placement.Request
+	// PlacementConfig tunes the annealing search.
+	PlacementConfig = placement.Config
+	// PlacementResult is a search outcome.
+	PlacementResult = placement.Result
+	// QoS constrains one application's predicted normalized time.
+	QoS = placement.QoS
+	// AppOutcome is a per-application simulation result for a placement.
+	AppOutcome = measure.AppOutcome
+	// Cluster describes the simulated hardware.
+	Cluster = cluster.Cluster
+	// OnlineEstimator refines a static model from production
+	// observations (the paper's stated future work).
+	OnlineEstimator = online.Estimator
+	// Job is one deployment request for the online cluster manager.
+	Job = schedule.Job
+	// SchedulerConfig parameterizes the online cluster manager.
+	SchedulerConfig = schedule.Config
+	// SchedulerResult summarizes a scheduling run.
+	SchedulerResult = schedule.Result
+	// SchedulerPolicy selects how arriving jobs are placed.
+	SchedulerPolicy = schedule.Policy
+)
+
+// Heterogeneity policies (Section 3.3).
+const (
+	NMax        = hetero.NMax
+	NPlus1Max   = hetero.NPlus1Max
+	AllMax      = hetero.AllMax
+	Interpolate = hetero.Interpolate
+)
+
+// Profiling algorithms (Section 4).
+const (
+	BinaryOptimized = core.BinaryOptimized
+	BinaryBrute     = core.BinaryBrute
+	FullBrute       = core.FullBrute
+	Random30        = core.Random30
+	Random50        = core.Random50
+)
+
+// Placement goals.
+const (
+	Best  = placement.Best
+	Worst = placement.Worst
+)
+
+// NewPrivateClusterEnv returns a measurement environment over the paper's
+// private testbed: 8 hosts with 2x8-core sockets behind a 10 GbE switch.
+func NewPrivateClusterEnv(seed int64) (*Env, error) {
+	return measure.NewEnv(cluster.Default(), seed)
+}
+
+// NewEC2Env returns a measurement environment over the simulated EC2
+// slice of Section 6: 32 instances with unmeasured, churning background
+// tenants.
+func NewEC2Env(seed int64) (*Env, error) { return ec2.NewEnv(seed) }
+
+// Workloads returns the paper's 18 benchmark applications.
+func Workloads() []Workload { return workloads.All() }
+
+// DistributedWorkloads returns the 12 distributed applications.
+func DistributedWorkloads() []Workload { return workloads.DistributedAll() }
+
+// BatchWorkloads returns the 6 SPEC CPU2006 batch applications.
+func BatchWorkloads() []Workload { return workloads.BatchAll() }
+
+// WorkloadByName resolves a paper abbreviation such as "M.lmps".
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// DefaultBuildConfig mirrors the paper's profiling setup: 8 nodes,
+// binary-optimized propagation profiling, 60 heterogeneous samples.
+func DefaultBuildConfig() BuildConfig { return core.DefaultBuildConfig() }
+
+// BuildModel profiles the environment and assembles the application's
+// interference model: propagation matrix, heterogeneity policy, and bubble
+// score.
+func BuildModel(env *Env, w Workload, cfg BuildConfig) (*Model, error) {
+	return core.BuildModel(env, w, cfg)
+}
+
+// BuildNaiveModel constructs the proportional baseline from the
+// single-node sensitivity profile only.
+func BuildNaiveModel(env *Env, w Workload, nodes int) (*NaiveModel, error) {
+	return core.BuildNaiveModel(env, w, nodes)
+}
+
+// MeasureBubbleScore measures the interference a workload generates, on
+// the bubble pressure scale.
+func MeasureBubbleScore(env *Env, w Workload) (float64, error) {
+	return core.MeasureBubbleScore(env, w)
+}
+
+// PredictPlacement predicts the normalized execution time of every
+// application in a placement from the given predictors and bubble scores.
+func PredictPlacement(p *Placement, predictors map[string]Predictor, scores map[string]float64) (map[string]float64, error) {
+	return core.PredictPlacement(p, predictors, scores)
+}
+
+// DefaultPlacementConfig returns the annealing configuration used by the
+// paper-reproduction experiments.
+func DefaultPlacementConfig(seed int64) PlacementConfig { return placement.DefaultConfig(seed) }
+
+// SearchPlacement runs the simulated-annealing placement search.
+func SearchPlacement(req PlacementRequest, cfg PlacementConfig) (PlacementResult, error) {
+	return placement.Search(req, cfg)
+}
+
+// RandomPlacements evaluates n random valid placements with the model
+// (the paper's Random baseline).
+func RandomPlacements(req PlacementRequest, n int, seed int64) ([]PlacementResult, error) {
+	return placement.RandomOutcome(req, n, seed)
+}
+
+// NewPlacement returns an empty placement grid.
+func NewPlacement(numHosts, slotsPerHost int) (*Placement, error) {
+	return cluster.NewPlacement(numHosts, slotsPerHost)
+}
+
+// PrivateCluster returns the paper's private-testbed hardware description.
+func PrivateCluster() Cluster { return cluster.Default() }
+
+// Scheduler policies for RunScheduler.
+const (
+	ModelDriven = schedule.ModelDriven
+	RandomFit   = schedule.RandomFit
+	PackFirst   = schedule.PackFirst
+)
+
+// NewOnlineEstimator wraps a static model so production observations keep
+// it calibrated (see internal/online). alpha in (0,1] is the learning
+// rate.
+func NewOnlineEstimator(model *Model, alpha float64) (*OnlineEstimator, error) {
+	return online.New(model, alpha)
+}
+
+// CombineScores folds multiple co-located bubble scores into one,
+// implementing the paper's Section 4.4 extension beyond pairwise
+// co-location. Pass DefaultCollision for the collision coefficient.
+func CombineScores(scores []float64, collision float64) (float64, error) {
+	return bubble.CombineScores(scores, collision)
+}
+
+// DefaultCollision is the calibrated cache-collision coefficient for
+// CombineScores.
+const DefaultCollision = bubble.DefaultCollision
+
+// RunScheduler executes the online cluster manager: jobs arrive over
+// time and the configured policy places them on env's cluster.
+func RunScheduler(env *Env, cfg SchedulerConfig, jobs []Job) (SchedulerResult, error) {
+	return schedule.Run(env, cfg, jobs)
+}

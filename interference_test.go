@@ -1,0 +1,141 @@
+package interference
+
+import (
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	env, err := NewPrivateClusterEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reps = 2
+	w, err := WorkloadByName("M.milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBuildConfig()
+	cfg.Samples = 10
+	model, err := BuildModel(env, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := model.PredictPressures([]float64{6, 0, 0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 1.2 {
+		t.Errorf("one heavy interfering node should predict a jump, got %v", pred)
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	if len(Workloads()) != 18 {
+		t.Errorf("workloads = %d, want 18", len(Workloads()))
+	}
+	if len(DistributedWorkloads()) != 12 {
+		t.Errorf("distributed = %d, want 12", len(DistributedWorkloads()))
+	}
+	if len(BatchWorkloads()) != 6 {
+		t.Errorf("batch = %d, want 6", len(BatchWorkloads()))
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestPublicPlacementSearch(t *testing.T) {
+	env, err := NewPrivateClusterEnv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reps = 2
+	cfg := DefaultBuildConfig()
+	cfg.Samples = 10
+	names := []string{"M.milc", "C.libq", "H.KM", "M.lmps"}
+	preds := map[string]Predictor{}
+	scores := map[string]float64{}
+	demands := make([]Demand, 0, len(names))
+	for _, n := range names {
+		w, err := WorkloadByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := BuildModel(env, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[n] = m
+		scores[n] = m.BubbleScore
+		demands = append(demands, Demand{App: n, Units: 4})
+	}
+	req := PlacementRequest{
+		NumHosts: 8, SlotsPerHost: 2,
+		Demands: demands, Predictors: preds, Scores: scores,
+	}
+	pcfg := DefaultPlacementConfig(3)
+	pcfg.Iterations = 500
+	pcfg.QoS = &QoS{App: "M.milc", MaxNormalized: 1.25}
+	res, err := SearchPlacement(req, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoSSatisfied {
+		t.Errorf("QoS should be satisfiable; predicted %v", res.Predicted["M.milc"])
+	}
+	outs, err := env.RunPlacement(res.Placement, map[string]Workload{
+		"M.milc": mustWL(t, "M.milc"), "C.libq": mustWL(t, "C.libq"),
+		"H.KM": mustWL(t, "H.KM"), "M.lmps": mustWL(t, "M.lmps"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["M.milc"].Normalized > 1.35 {
+		t.Errorf("actual QoS badly violated: %v", outs["M.milc"].Normalized)
+	}
+	rnd, err := RandomPlacements(req, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rnd) != 3 {
+		t.Errorf("random placements = %d", len(rnd))
+	}
+}
+
+func TestEC2EnvConstructor(t *testing.T) {
+	env, err := NewEC2Env(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Cluster.NumHosts != 32 {
+		t.Errorf("EC2 hosts = %d, want 32", env.Cluster.NumHosts)
+	}
+	if env.Background == nil {
+		t.Error("EC2 env must carry background interference")
+	}
+	if PrivateCluster().NumHosts != 8 {
+		t.Error("private cluster should have 8 hosts")
+	}
+}
+
+func TestNewPlacementWrapper(t *testing.T) {
+	p, err := NewPlacement(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set(0, 0, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0, 0) != "A" {
+		t.Error("placement wrapper broken")
+	}
+}
+
+func mustWL(t *testing.T, name string) Workload {
+	t.Helper()
+	w, err := WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

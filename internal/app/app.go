@@ -1,0 +1,532 @@
+// Package app contains the distributed parallel application engines that
+// run on the discrete-event kernel. The paper's central observation is that
+// an application's *synchronization pattern* decides how local interference
+// propagates to its end-to-end latency (Section 3.2); the engines here make
+// that pattern an explicit, executable structure:
+//
+//   - BSP: bulk-synchronous MPI-style iteration — per-iteration barrier and
+//     allreduce/allgather collectives make the slowest node gate everyone
+//     (the paper's "high propagation" class: M.milc, M.lesl, M.lmps, ...).
+//   - Wavefront: per-iteration work serialized across nodes with only
+//     point-to-point hand-offs — each node's slowdown adds proportionally
+//     (the paper's "proportional propagation" class: M.Gems).
+//   - TaskPool: many fine-grained tasks scheduled dynamically onto free
+//     slots with speculative re-execution — aggregate throughput of all
+//     nodes matters, so isolated slow nodes are absorbed (the paper's "low
+//     propagation" class: H.KM, S.PR).
+//   - Stages: coarse-wave stage execution with shuffles in between — a
+//     middle ground where the worst nodes dominate stage tails (Spark).
+//   - Independent: unsynchronized single-node batch instances (SPEC
+//     CPU2006 co-runners of Section 5).
+package app
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Engine selects the execution structure of a Spec.
+type Engine int
+
+// Engine kinds. See the package comment for the propagation class each
+// pattern produces.
+const (
+	BSP Engine = iota
+	Wavefront
+	TaskPool
+	Stages
+	Independent
+)
+
+// String returns the engine name.
+func (e Engine) String() string {
+	switch e {
+	case BSP:
+		return "BSP"
+	case Wavefront:
+		return "Wavefront"
+	case TaskPool:
+		return "TaskPool"
+	case Stages:
+		return "Stages"
+	case Independent:
+		return "Independent"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Spec describes one distributed application's execution structure. Only
+// the fields relevant to the chosen Engine are consulted.
+type Spec struct {
+	Name   string
+	Engine Engine
+
+	// Iterative engines (BSP, Wavefront).
+	Iterations int     // outer iterations
+	IterSec    float64 // per-node compute seconds per iteration, uninterfered
+	NoiseSigma float64 // lognormal per-(node,iteration) compute jitter
+
+	// BSP collectives, per iteration.
+	ProcsPerNode    int     // MPI ranks per node (sizes the collectives)
+	AllreduceBytes  float64 // payload reduced per iteration
+	AllgatherBytes  float64 // payload gathered per iteration
+	BarriersPerIter int     // extra barriers per iteration
+	// SyncDrag scales how much interference anywhere stretches each
+	// collective: interfered ranks reach the collective at more
+	// dispersed times, lengthening the synchronization window in
+	// proportion to the mean excess slowdown. This secondary term is
+	// what makes lesser-pressure interfering nodes still cost a BSP
+	// code something — the behaviour the paper's N+1 max policy models.
+	SyncDrag float64
+
+	// Task engines (TaskPool, Stages).
+	NumStages     int     // map/reduce or Spark stage count
+	TasksPerStage int     // tasks per stage
+	TaskSec       float64 // base duration of one task
+	SlotsPerNode  int     // concurrent tasks per node
+	Speculative   bool    // Hadoop-style speculative re-execution
+	// TaskSkewSigma is the lognormal sigma of per-task size variation
+	// (data skew). Large skewed tasks landing on interfered nodes are
+	// what makes Spark-style stages tail-dominated by the worst nodes.
+	TaskSkewSigma float64
+	// LocalityFrac is the fraction of tasks pinned to a home node (data
+	// locality, HDFS/RDD partition placement). Pinned tasks cannot be
+	// load-balanced away from an interfered node; only speculative
+	// copies (which may run anywhere) mitigate them.
+	LocalityFrac float64
+	// ShuffleBytesPerNode is the all-to-all volume between stages.
+	ShuffleBytesPerNode float64
+
+	// Independent engine.
+	BatchSec float64 // solo duration of one batch instance
+}
+
+// Validate reports whether the spec is runnable.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return errors.New("app: spec needs a name")
+	}
+	if s.NoiseSigma < 0 {
+		return errors.New("app: negative noise sigma")
+	}
+	switch s.Engine {
+	case BSP, Wavefront:
+		if s.Iterations <= 0 || s.IterSec <= 0 {
+			return fmt.Errorf("app %s: iterative engine needs Iterations and IterSec", s.Name)
+		}
+		if s.Engine == BSP && s.ProcsPerNode <= 0 {
+			return fmt.Errorf("app %s: BSP needs ProcsPerNode", s.Name)
+		}
+		if s.AllreduceBytes < 0 || s.AllgatherBytes < 0 || s.BarriersPerIter < 0 {
+			return fmt.Errorf("app %s: negative collective parameters", s.Name)
+		}
+		if s.SyncDrag < 0 {
+			return fmt.Errorf("app %s: negative sync drag", s.Name)
+		}
+	case TaskPool, Stages:
+		if s.NumStages <= 0 || s.TasksPerStage <= 0 || s.TaskSec <= 0 || s.SlotsPerNode <= 0 {
+			return fmt.Errorf("app %s: task engine needs NumStages/TasksPerStage/TaskSec/SlotsPerNode", s.Name)
+		}
+		if s.ShuffleBytesPerNode < 0 {
+			return fmt.Errorf("app %s: negative shuffle volume", s.Name)
+		}
+		if s.TaskSkewSigma < 0 {
+			return fmt.Errorf("app %s: negative task skew sigma", s.Name)
+		}
+		if s.LocalityFrac < 0 || s.LocalityFrac > 1 {
+			return fmt.Errorf("app %s: LocalityFrac %v outside [0,1]", s.Name, s.LocalityFrac)
+		}
+	case Independent:
+		if s.BatchSec <= 0 {
+			return fmt.Errorf("app %s: Independent needs BatchSec", s.Name)
+		}
+	default:
+		return fmt.Errorf("app %s: unknown engine %v", s.Name, s.Engine)
+	}
+	return nil
+}
+
+// Params carries the per-run environment: the per-node slowdown factors the
+// contention model produced for this application's processes, the network,
+// and a random stream for compute jitter.
+type Params struct {
+	Slowdown []float64 // one entry per node the app occupies; >= 1 each
+	Net      netsim.Network
+	RNG      *sim.RNG
+}
+
+func (p Params) validate() error {
+	if len(p.Slowdown) == 0 {
+		return errors.New("app: no nodes (empty slowdown vector)")
+	}
+	for i, sd := range p.Slowdown {
+		if sd < 1 || math.IsNaN(sd) || math.IsInf(sd, 0) {
+			return fmt.Errorf("app: slowdown[%d] = %v invalid (must be >= 1, finite)", i, sd)
+		}
+	}
+	if err := p.Net.Validate(); err != nil {
+		return err
+	}
+	if p.RNG == nil {
+		return errors.New("app: nil RNG")
+	}
+	return nil
+}
+
+// Run executes the application under the given environment and returns its
+// makespan in seconds.
+func (s Spec) Run(p Params) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	switch s.Engine {
+	case BSP:
+		return s.runBSP(p)
+	case Wavefront:
+		return s.runWavefront(p)
+	case TaskPool, Stages:
+		return s.runTasks(p)
+	case Independent:
+		return s.runIndependent(p)
+	}
+	return 0, fmt.Errorf("app %s: unknown engine", s.Name)
+}
+
+// nodeStreams derives one jitter stream per node so adding nodes never
+// perturbs the draws of existing ones.
+func nodeStreams(rng *sim.RNG, n int) []*sim.RNG {
+	out := make([]*sim.RNG, n)
+	for i := range out {
+		out[i] = rng.StreamN("node", i)
+	}
+	return out
+}
+
+// runBSP executes bulk-synchronous iterations: all nodes compute, the
+// slowest gates the iteration, then collectives run.
+func (s Spec) runBSP(p Params) (float64, error) {
+	eng := sim.NewEngine()
+	nodes := len(p.Slowdown)
+	streams := nodeStreams(p.RNG, nodes)
+	procs := nodes * s.ProcsPerNode
+	collective := p.Net.Allreduce(procs, s.AllreduceBytes) +
+		p.Net.Allgather(procs, s.AllgatherBytes) +
+		float64(1+s.BarriersPerIter)*p.Net.Barrier(procs)
+	var meanExcess float64
+	for _, sd := range p.Slowdown {
+		meanExcess += sd - 1
+	}
+	meanExcess /= float64(nodes)
+	collective += s.SyncDrag * s.IterSec * meanExcess
+
+	iter := 0
+	var schedErr error
+	var startIter func()
+	startIter = func() {
+		if iter >= s.Iterations {
+			return
+		}
+		iter++
+		remaining := nodes
+		for i := 0; i < nodes; i++ {
+			d := s.IterSec * p.Slowdown[i] * streams[i].JitterAround1(s.NoiseSigma)
+			if err := eng.After(d, func() {
+				remaining--
+				if remaining == 0 {
+					if err := eng.After(collective, startIter); err != nil {
+						schedErr = err
+						eng.Halt()
+					}
+				}
+			}); err != nil {
+				schedErr = err
+				eng.Halt()
+				return
+			}
+		}
+	}
+	if err := eng.At(0, startIter); err != nil {
+		return 0, err
+	}
+	end := eng.Run()
+	if schedErr != nil {
+		return 0, schedErr
+	}
+	return float64(end), nil
+}
+
+// runWavefront executes iterations whose per-node stages are serialized:
+// node 0 computes and hands off to node 1, and so on. Each node's slowdown
+// therefore contributes additively to the iteration.
+func (s Spec) runWavefront(p Params) (float64, error) {
+	eng := sim.NewEngine()
+	nodes := len(p.Slowdown)
+	streams := nodeStreams(p.RNG, nodes)
+	hop := p.Net.PointToPoint(256 * 1024) // stage hand-off message
+
+	iter, node := 0, 0
+	var schedErr error
+	var step func()
+	step = func() {
+		if iter >= s.Iterations {
+			return
+		}
+		// Per-node stage: the solo iteration costs IterSec in total,
+		// split evenly across the serialized node stages.
+		d := s.IterSec / float64(nodes) * p.Slowdown[node] * streams[node].JitterAround1(s.NoiseSigma)
+		cur := node
+		if err := eng.After(d, func() {
+			_ = cur
+			node++
+			if node == nodes {
+				node = 0
+				iter++
+				if iter >= s.Iterations {
+					return
+				}
+			}
+			if err := eng.After(hop, step); err != nil {
+				schedErr = err
+				eng.Halt()
+			}
+		}); err != nil {
+			schedErr = err
+			eng.Halt()
+		}
+	}
+	if err := eng.At(0, step); err != nil {
+		return 0, err
+	}
+	end := eng.Run()
+	if schedErr != nil {
+		return 0, schedErr
+	}
+	return float64(end), nil
+}
+
+// taskState tracks one logical task during a stage, including a possible
+// speculative copy.
+type taskState struct {
+	done   bool
+	cloned bool
+	// finish is the scheduled completion time of the primary copy, used
+	// to pick straggler candidates.
+	finish sim.Time
+	node   int
+}
+
+// runTasks executes NumStages stages of dynamically scheduled tasks and is
+// shared by the TaskPool (Hadoop) and Stages (Spark) engines: the
+// difference is entirely in the spec parameters (task granularity,
+// speculation, shuffle volume).
+func (s Spec) runTasks(p Params) (float64, error) {
+	eng := sim.NewEngine()
+	nodes := len(p.Slowdown)
+	streams := nodeStreams(p.RNG, nodes)
+
+	stage := 0
+	// endTime is when the final stage's last task logically completes.
+	// Speculative losers' completion events may still drain afterwards
+	// (the winner already finished the task), so the engine's final
+	// clock is not the job's makespan.
+	var endTime sim.Time
+	var schedErr error
+	fail := func(err error) {
+		schedErr = err
+		eng.Halt()
+	}
+
+	var startStage func()
+	startStage = func() {
+		if stage >= s.NumStages {
+			return
+		}
+		stage++
+
+		tasks := make([]taskState, s.TasksPerStage)
+		// Per-task size skew, drawn up-front from a stage-level stream so
+		// a task keeps its size whichever node (or speculative copy) runs
+		// it and regardless of dispatch order.
+		skew := make([]float64, s.TasksPerStage)
+		skewStream := p.RNG.StreamN("skew", stage)
+		for i := range skew {
+			skew[i] = skewStream.JitterAround1(s.TaskSkewSigma)
+		}
+		// Locality: the first LocalityFrac of tasks are pinned to a home
+		// node round-robin; the rest float freely.
+		pinnedCount := int(s.LocalityFrac * float64(s.TasksPerStage))
+		pinned := make([][]int, nodes) // per-node queues of pinned task ids
+		var floating []int             // queue of unpinned task ids
+		for id := 0; id < s.TasksPerStage; id++ {
+			if id < pinnedCount {
+				home := id % nodes
+				pinned[home] = append(pinned[home], id)
+			} else {
+				floating = append(floating, id)
+			}
+		}
+
+		doneCount := 0            // completed logical tasks
+		freeSlots := []int{}      // node index per free slot
+		running := map[int]bool{} // task ids with a primary copy in flight
+
+		var finishStage func()
+		var dispatch func()
+		completeOn := func(id, node int) func() {
+			return func() {
+				// Slot frees regardless; the logical task may
+				// already be done via its twin copy.
+				freeSlots = append(freeSlots, node)
+				if !tasks[id].done {
+					tasks[id].done = true
+					delete(running, id)
+					doneCount++
+				}
+				if doneCount == s.TasksPerStage {
+					finishStage()
+					return
+				}
+				dispatch()
+			}
+		}
+		launch := func(id, node int, clone bool) {
+			d := s.TaskSec * skew[id] * p.Slowdown[node] * streams[node].JitterAround1(s.NoiseSigma)
+			if !clone {
+				tasks[id].finish = eng.Now() + sim.Time(d)
+				tasks[id].node = node
+				running[id] = true
+			}
+			if err := eng.After(d, completeOn(id, node)); err != nil {
+				fail(err)
+			}
+		}
+		// pickClone returns the running, un-cloned task with the latest
+		// expected finish still in the future, or -1.
+		pickClone := func() int {
+			id := -1
+			var worst sim.Time
+			for rid := range running {
+				if tasks[rid].cloned || tasks[rid].done {
+					continue
+				}
+				if tasks[rid].finish <= eng.Now() {
+					continue
+				}
+				if id == -1 || tasks[rid].finish > worst {
+					id, worst = rid, tasks[rid].finish
+				}
+			}
+			return id
+		}
+		// dispatch scans every free slot (slots on different nodes are
+		// not interchangeable once locality pins tasks) and launches
+		// whatever work each can legally run.
+		dispatch = func() {
+			kept := freeSlots[:0]
+			for _, node := range freeSlots {
+				switch {
+				case len(pinned[node]) > 0:
+					id := pinned[node][0]
+					pinned[node] = pinned[node][1:]
+					launch(id, node, false)
+				case len(floating) > 0:
+					id := floating[0]
+					floating = floating[1:]
+					launch(id, node, false)
+				case s.Speculative:
+					if id := pickClone(); id != -1 {
+						tasks[id].cloned = true
+						launch(id, node, true)
+					} else {
+						kept = append(kept, node)
+					}
+				default:
+					kept = append(kept, node)
+				}
+			}
+			freeSlots = kept
+		}
+		finished := false
+		finishStage = func() {
+			if finished {
+				return
+			}
+			finished = true
+			if stage == s.NumStages {
+				endTime = eng.Now()
+				return
+			}
+			gap := 0.0
+			if s.ShuffleBytesPerNode > 0 {
+				gap = p.Net.Shuffle(nodes, s.ShuffleBytesPerNode)
+			}
+			if err := eng.After(gap, startStage); err != nil {
+				fail(err)
+			}
+		}
+
+		for n := 0; n < nodes; n++ {
+			for sl := 0; sl < s.SlotsPerNode; sl++ {
+				freeSlots = append(freeSlots, n)
+			}
+		}
+		dispatch()
+	}
+	if err := eng.At(0, startStage); err != nil {
+		return 0, err
+	}
+	eng.Run()
+	if schedErr != nil {
+		return 0, schedErr
+	}
+	return float64(endTime), nil
+}
+
+// runIndependent models unsynchronized batch instances: every node runs its
+// own instances, and the reported time is the mean per-instance runtime
+// (the quantity the paper's throughput metric weighs for SPEC CPU2006
+// co-runners).
+func (s Spec) runIndependent(p Params) (float64, error) {
+	streams := nodeStreams(p.RNG, len(p.Slowdown))
+	times := make([]float64, len(p.Slowdown))
+	for i, sd := range p.Slowdown {
+		times[i] = s.BatchSec * sd * streams[i].JitterAround1(s.NoiseSigma)
+	}
+	return stats.Mean(times), nil
+}
+
+// SoloTime returns the expected uninterfered makespan on the given number
+// of nodes (unit slowdowns, deterministic jitter suppressed by averaging
+// over reps run with distinct streams).
+func (s Spec) SoloTime(nodes int, net netsim.Network, rng *sim.RNG, reps int) (float64, error) {
+	if nodes <= 0 {
+		return 0, errors.New("app: non-positive node count")
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	sd := make([]float64, nodes)
+	for i := range sd {
+		sd[i] = 1
+	}
+	times := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		t, err := s.Run(Params{Slowdown: sd, Net: net, RNG: rng.StreamN("solo", r)})
+		if err != nil {
+			return 0, err
+		}
+		times[r] = t
+	}
+	sort.Float64s(times)
+	return stats.Mean(times), nil
+}

@@ -1,0 +1,178 @@
+package bubble
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/contention"
+)
+
+func TestProfileDoublesAccessVolume(t *testing.T) {
+	for p := 1.0; p < MaxPressure; p++ {
+		a := Profile(p)
+		b := Profile(p + 1)
+		if math.Abs(b.APKI/a.APKI-2) > 1e-9 {
+			t.Errorf("APKI ratio at %v = %v, want 2", p, b.APKI/a.APKI)
+		}
+	}
+	if Profile(-5).APKI != Profile(0).APKI {
+		t.Error("negative pressure should clamp to 0")
+	}
+	for p := 0.5; p <= 8; p += 0.5 {
+		if err := Profile(p).Validate(); err != nil {
+			t.Errorf("Profile(%v) invalid: %v", p, err)
+		}
+	}
+}
+
+func TestNewScaleValidation(t *testing.T) {
+	node := contention.DefaultNode()
+	if _, err := NewScale(node, 0); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := NewScale(node, node.Cores); err == nil {
+		t.Error("cores leaving no room for the generator should fail")
+	}
+	if _, err := NewScale(contention.Node{}, 4); err == nil {
+		t.Error("invalid node should fail")
+	}
+}
+
+func TestScaleResponseMonotone(t *testing.T) {
+	s, err := NewScale(contention.DefaultNode(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, resp := s.Response()
+	if len(ps) != len(resp) || len(ps) == 0 {
+		t.Fatalf("response sizes: %d vs %d", len(ps), len(resp))
+	}
+	for i := 1; i < len(resp); i++ {
+		if resp[i] <= resp[i-1] {
+			t.Errorf("response not strictly increasing at %d: %v <= %v", i, resp[i], resp[i-1])
+		}
+	}
+	if resp[0] < 1 {
+		t.Errorf("probe slowdown below 1: %v", resp[0])
+	}
+}
+
+func TestScoreOfBubbleIsItsPressure(t *testing.T) {
+	// Measuring the bubble itself must return (approximately) the
+	// pressure it was configured with — the scale's fixed point.
+	s, err := NewScale(contention.DefaultNode(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1.0; p <= MaxPressure; p++ {
+		got, err := s.Score(Profile(p), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-p) > 0.05 {
+			t.Errorf("Score(bubble %v) = %v", p, got)
+		}
+	}
+}
+
+func TestScoreBoundsAndErrors(t *testing.T) {
+	s, err := NewScale(contention.DefaultNode(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A workload that generates nothing scores 0.
+	idle := contention.MemProfile{CPICore: 1, APKI: 0, WSSMB: 0, MRMin: 0, MRMax: 0, Gamma: 1, MLP: 1}
+	got, err := s.Score(idle, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("idle score = %v, want 0", got)
+	}
+	// An absurdly heavy generator clamps at MaxPressure.
+	monster := Profile(12)
+	got, err = s.Score(monster, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MaxPressure {
+		t.Errorf("monster score = %v, want clamp at %v", got, float64(MaxPressure))
+	}
+	if _, err := s.Score(idle, 0); err == nil {
+		t.Error("zero generator cores should fail")
+	}
+}
+
+func TestSensitivityCurve(t *testing.T) {
+	node := contention.DefaultNode()
+	prof := contention.MemProfile{CPICore: 0.8, APKI: 20, WSSMB: 30, MRMin: 0.1, MRMax: 0.9, Gamma: 1.1, MLP: 2}
+	ps := IntegerPressures()
+	curve, err := Sensitivity(node, prof, 8, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != MaxPressure {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Errorf("sensitivity not monotone at %d: %v < %v", i, curve[i], curve[i-1])
+		}
+	}
+	if curve[0] < 1 {
+		t.Errorf("slowdown below 1: %v", curve[0])
+	}
+	// Zero or negative pressures mean no co-runner.
+	c2, err := Sensitivity(node, prof, 8, []float64{0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2[0] != 1 || c2[1] != 1 {
+		t.Errorf("no-pressure sensitivity = %v, want all 1", c2)
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	node := contention.DefaultNode()
+	prof := Profile(1)
+	if _, err := Sensitivity(contention.Node{}, prof, 4, []float64{1}); err == nil {
+		t.Error("invalid node should fail")
+	}
+	if _, err := Sensitivity(node, prof, 0, []float64{1}); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := Sensitivity(node, prof, node.Cores, []float64{1}); err == nil {
+		t.Error("no room for bubble should fail")
+	}
+}
+
+func TestIntegerPressures(t *testing.T) {
+	ps := IntegerPressures()
+	if len(ps) != MaxPressure || ps[0] != 1 || ps[MaxPressure-1] != MaxPressure {
+		t.Errorf("IntegerPressures = %v", ps)
+	}
+}
+
+// Property: Score is monotone in the generator's access volume.
+func TestScoreMonotoneInAPKIProperty(t *testing.T) {
+	s, err := NewScale(contention.DefaultNode(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(apkiRaw uint8) bool {
+		apki := float64(apkiRaw%60) + 1
+		p1 := contention.MemProfile{CPICore: 1, APKI: apki, WSSMB: 64, MRMin: 0.8, MRMax: 0.8, Gamma: 1, MLP: 4}
+		p2 := p1
+		p2.APKI *= 1.5
+		s1, err1 := s.Score(p1, 8)
+		s2, err2 := s.Score(p2, 8)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2 >= s1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package bubble
+
+import (
+	"errors"
+	"math"
+)
+
+// CombineScores folds the bubble scores of multiple co-located generators
+// into a single score, implementing the extension the paper sketches in
+// its Limitations (Section 4.4) to lift the pairwise co-location
+// restriction:
+//
+//   - a score increase of 1 corresponds to a doubling of LLC misses, so
+//     the miss volumes of independent generators add as 2^s, giving a base
+//     combined score of log2(sum_i 2^si) — for two equal scores S this is
+//     exactly the paper's S+1;
+//   - co-located generators additionally collide in the cache, evicting
+//     each other's lines and producing extra misses beyond the sum. The
+//     collision term grows with the number of active generators and with
+//     how balanced their pressures are (a tiny generator barely perturbs a
+//     huge one).
+//
+// collision is the extra pressure per unit of balanced co-generator; pass
+// DefaultCollision unless calibrated otherwise. Zero or absent scores
+// contribute nothing; combining a single score returns it unchanged.
+func CombineScores(scores []float64, collision float64) (float64, error) {
+	if collision < 0 {
+		return 0, errors.New("bubble: negative collision coefficient")
+	}
+	var sum float64 // total miss volume on the 2^s scale
+	var maxS float64
+	active := 0
+	for _, s := range scores {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return 0, errors.New("bubble: invalid score")
+		}
+		if s == 0 {
+			continue
+		}
+		active++
+		sum += math.Exp2(s)
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if active == 0 {
+		return 0, nil
+	}
+	base := math.Log2(sum)
+	if active == 1 {
+		return base, nil
+	}
+	// Balance in (0,1]: 1 when the secondary generators match the
+	// dominant one, near 0 when they are negligible.
+	balance := (sum - math.Exp2(maxS)) / math.Exp2(maxS)
+	if balance > 1 {
+		balance = 1
+	}
+	combined := base + collision*balance*float64(active-1)
+	if combined > MaxPressure {
+		combined = MaxPressure
+	}
+	return combined, nil
+}
+
+// DefaultCollision is the cache-collision coefficient calibrated against
+// the contention model: co-locating two equal generators measures roughly
+// this much above the pure volume sum (see TestCombineScoresCalibration).
+const DefaultCollision = 0.25

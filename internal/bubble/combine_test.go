@@ -1,0 +1,140 @@
+package bubble
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/contention"
+)
+
+func TestCombineScoresBasics(t *testing.T) {
+	// Empty or all-zero input combines to zero.
+	for _, in := range [][]float64{nil, {}, {0}, {0, 0, 0}} {
+		got, err := CombineScores(in, DefaultCollision)
+		if err != nil || got != 0 {
+			t.Errorf("CombineScores(%v) = %v, %v", in, got, err)
+		}
+	}
+	// A single score passes through unchanged.
+	got, err := CombineScores([]float64{3.7}, DefaultCollision)
+	if err != nil || math.Abs(got-3.7) > 1e-12 {
+		t.Errorf("single score = %v, %v", got, err)
+	}
+	// Two equal scores S combine to S+1 plus the collision term — the
+	// paper's worked example from Section 4.4.
+	got, err = CombineScores([]float64{4, 4}, 0)
+	if err != nil || math.Abs(got-5) > 1e-12 {
+		t.Errorf("two equal scores without collision = %v, want 5", got)
+	}
+	withCollision, err := CombineScores([]float64{4, 4}, DefaultCollision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCollision <= 5 {
+		t.Errorf("collision term should add pressure: %v", withCollision)
+	}
+	// A negligible co-generator barely moves the score.
+	got, err = CombineScores([]float64{6, 0.1}, DefaultCollision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 6.2 {
+		t.Errorf("tiny co-generator moved 6 to %v", got)
+	}
+}
+
+func TestCombineScoresValidation(t *testing.T) {
+	if _, err := CombineScores([]float64{-1}, 0.2); err == nil {
+		t.Error("negative score should fail")
+	}
+	if _, err := CombineScores([]float64{math.NaN()}, 0.2); err == nil {
+		t.Error("NaN score should fail")
+	}
+	if _, err := CombineScores([]float64{1}, -0.1); err == nil {
+		t.Error("negative collision coefficient should fail")
+	}
+}
+
+func TestCombineScoresClampsAtMax(t *testing.T) {
+	got, err := CombineScores([]float64{8, 8, 8}, DefaultCollision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MaxPressure {
+		t.Errorf("combined = %v, want clamp at %v", got, float64(MaxPressure))
+	}
+}
+
+// TestCombineScoresCalibration validates the combination rule against the
+// contention model: the score measured for two co-located generators must
+// be close to CombineScores of their individual scores.
+func TestCombineScoresCalibration(t *testing.T) {
+	node := contention.DefaultNode()
+	scale, err := NewScale(node, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// measure the probe's view of co-located generator pairs, each
+	// occupying 4 cores (three occupants of 4 cores + probe = 16).
+	combineMeasured := func(p1, p2 float64) float64 {
+		res, err := contention.Solve(node, []contention.Occupant{
+			{Name: "probe", Prof: probeProfile(), Cores: 4},
+			{Name: "g1", Prof: Profile(p1), Cores: 4},
+			{Name: "g2", Prof: Profile(p2), Cores: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scale.invert(res.Slowdown[0])
+	}
+	single := func(p float64) float64 {
+		s, err := scale.Score(Profile(p), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	for _, pair := range [][2]float64{{2, 2}, {3, 2}, {4, 4}, {5, 2}} {
+		s1, s2 := single(pair[0]), single(pair[1])
+		predicted, err := CombineScores([]float64{s1, s2}, DefaultCollision)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := combineMeasured(pair[0], pair[1])
+		if math.Abs(predicted-measured) > 1.0 {
+			t.Errorf("pair %v: combined predicted %v vs measured %v", pair, predicted, measured)
+		}
+	}
+}
+
+// Property: combining is monotone — adding a generator never lowers the
+// combined score, and the result is at least the max input.
+func TestCombineScoresMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		scores := make([]float64, 0, len(raw))
+		var maxS float64
+		for _, r := range raw {
+			s := float64(r%9) * 0.9
+			scores = append(scores, s)
+			if s > maxS {
+				maxS = s
+			}
+		}
+		combined, err := CombineScores(scores, DefaultCollision)
+		if err != nil {
+			return false
+		}
+		if combined < maxS-1e-9 {
+			return false
+		}
+		more, err := CombineScores(append(scores, 2), DefaultCollision)
+		if err != nil {
+			return false
+		}
+		return more >= combined-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

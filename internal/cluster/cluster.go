@@ -1,0 +1,346 @@
+// Package cluster models the consolidated virtual cluster of the paper's
+// testbed: physical hosts (each a contention.Node), virtual machines
+// grouped into per-host application units, and placements of those units
+// onto hosts subject to the paper's co-location rules (Section 3.1):
+// VMs of the same application are grouped four to a host, vCPUs are never
+// overcommitted, and at most two distinct applications share a host.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/contention"
+	"repro/internal/sim"
+)
+
+// Cluster is a set of identical physical hosts behind one switch.
+type Cluster struct {
+	HostSpec contention.Node
+	NumHosts int
+	// Net parameters of the 10 GbE interconnect (alpha-beta model).
+	NetLatencyUs float64 // per-message latency in microseconds
+	NetBWGbps    float64 // link bandwidth in Gb/s
+}
+
+// Default returns the paper's private testbed: 8 hosts of 16 cores behind
+// a 10 GbE switch.
+func Default() Cluster {
+	return Cluster{
+		HostSpec:     contention.DefaultNode(),
+		NumHosts:     8,
+		NetLatencyUs: 30,
+		NetBWGbps:    10,
+	}
+}
+
+// Validate reports whether the cluster configuration is usable.
+func (c Cluster) Validate() error {
+	if c.NumHosts <= 0 {
+		return errors.New("cluster: need at least one host")
+	}
+	if err := c.HostSpec.Validate(); err != nil {
+		return fmt.Errorf("cluster host spec: %w", err)
+	}
+	if c.NetLatencyUs < 0 || c.NetBWGbps <= 0 {
+		return errors.New("cluster: invalid network parameters")
+	}
+	return nil
+}
+
+// UnitCores is the size of one application unit: 4 dual-core VMs pinned to
+// 8 physical cores (Section 3.1).
+const UnitCores = 8
+
+// MaxAppsPerHost is the pairwise co-location limit of the model
+// (Limitations, Section 1).
+const MaxAppsPerHost = 2
+
+// Placement assigns application units to host slots. Each host has
+// HostSlots slots of UnitCores cores; a slot holds the name of the
+// application whose unit occupies it, or "" when empty.
+type Placement struct {
+	NumHosts  int
+	HostSlots int
+	// appsLimit is the maximum number of distinct applications per host
+	// (0 means the paper's pairwise default, MaxAppsPerHost). Raising it
+	// requires combining co-runner scores per Section 4.4 — see
+	// bubble.CombineScores.
+	appsLimit int
+	slots     [][]string
+}
+
+// NewPlacement returns an empty placement for numHosts hosts with
+// slotsPerHost unit slots each, under the paper's pairwise co-location
+// rule.
+func NewPlacement(numHosts, slotsPerHost int) (*Placement, error) {
+	return NewPlacementLimit(numHosts, slotsPerHost, 0)
+}
+
+// NewPlacementLimit is NewPlacement with an explicit per-host limit on
+// distinct applications (0 = MaxAppsPerHost, the paper's pairwise rule).
+func NewPlacementLimit(numHosts, slotsPerHost, appsLimit int) (*Placement, error) {
+	if numHosts <= 0 || slotsPerHost <= 0 {
+		return nil, errors.New("cluster: non-positive placement dimensions")
+	}
+	if appsLimit < 0 {
+		return nil, errors.New("cluster: negative apps-per-host limit")
+	}
+	s := make([][]string, numHosts)
+	for i := range s {
+		s[i] = make([]string, slotsPerHost)
+	}
+	return &Placement{NumHosts: numHosts, HostSlots: slotsPerHost, appsLimit: appsLimit, slots: s}, nil
+}
+
+// AppsPerHostLimit returns the effective per-host distinct-app limit.
+func (p *Placement) AppsPerHostLimit() int {
+	if p.appsLimit == 0 {
+		return MaxAppsPerHost
+	}
+	return p.appsLimit
+}
+
+// Clone returns a deep copy of the placement.
+func (p *Placement) Clone() *Placement {
+	c, _ := NewPlacementLimit(p.NumHosts, p.HostSlots, p.appsLimit)
+	for h := range p.slots {
+		copy(c.slots[h], p.slots[h])
+	}
+	return c
+}
+
+// Set places (or clears, with app == "") a unit of app at the given host
+// slot.
+func (p *Placement) Set(host, slot int, app string) error {
+	if host < 0 || host >= p.NumHosts || slot < 0 || slot >= p.HostSlots {
+		return fmt.Errorf("cluster: slot (%d,%d) out of range", host, slot)
+	}
+	p.slots[host][slot] = app
+	return nil
+}
+
+// At returns the app occupying the given host slot ("" when empty).
+func (p *Placement) At(host, slot int) string { return p.slots[host][slot] }
+
+// Swap exchanges the contents of two slots.
+func (p *Placement) Swap(hostA, slotA, hostB, slotB int) error {
+	if hostA < 0 || hostA >= p.NumHosts || slotA < 0 || slotA >= p.HostSlots ||
+		hostB < 0 || hostB >= p.NumHosts || slotB < 0 || slotB >= p.HostSlots {
+		return errors.New("cluster: swap slot out of range")
+	}
+	p.slots[hostA][slotA], p.slots[hostB][slotB] = p.slots[hostB][slotB], p.slots[hostA][slotA]
+	return nil
+}
+
+// Apps returns the distinct application names present, sorted.
+func (p *Placement) Apps() []string {
+	seen := map[string]bool{}
+	for _, hs := range p.slots {
+		for _, a := range hs {
+			if a != "" {
+				seen[a] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostApps returns the distinct apps on one host, sorted.
+func (p *Placement) HostApps(host int) []string {
+	seen := map[string]bool{}
+	for _, a := range p.slots[host] {
+		if a != "" {
+			seen[a] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppHosts returns the hosts on which app has at least one unit, ascending.
+func (p *Placement) AppHosts(app string) []int {
+	var out []int
+	for h, hs := range p.slots {
+		for _, a := range hs {
+			if a == app {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// UnitPos identifies one unit slot in a placement.
+type UnitPos struct{ Host, Slot int }
+
+// UnitPositions returns the slots occupied by app, ordered by host then
+// slot. The first position hosts the application's master.
+func (p *Placement) UnitPositions(app string) []UnitPos {
+	var out []UnitPos
+	for h, hs := range p.slots {
+		for s, a := range hs {
+			if a == app {
+				out = append(out, UnitPos{Host: h, Slot: s})
+			}
+		}
+	}
+	return out
+}
+
+// UnitsOf returns the number of units app occupies.
+func (p *Placement) UnitsOf(app string) int {
+	n := 0
+	for _, hs := range p.slots {
+		for _, a := range hs {
+			if a == app {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CoRunners returns, for each host app runs on (in AppHosts order), the
+// other applications sharing that host (empty string slice if none).
+func (p *Placement) CoRunners(app string) [][]string {
+	hosts := p.AppHosts(app)
+	out := make([][]string, len(hosts))
+	for i, h := range hosts {
+		var others []string
+		for _, a := range p.HostApps(h) {
+			if a != app {
+				others = append(others, a)
+			}
+		}
+		out[i] = others
+	}
+	return out
+}
+
+// Validate checks the co-location rule: at most AppsPerHostLimit distinct
+// applications per host.
+func (p *Placement) Validate() error {
+	limit := p.AppsPerHostLimit()
+	for h := range p.slots {
+		if n := len(p.HostApps(h)); n > limit {
+			return fmt.Errorf("cluster: host %d has %d distinct apps (max %d)", h, n, limit)
+		}
+	}
+	return nil
+}
+
+// String renders the placement as a compact host table.
+func (p *Placement) String() string {
+	var b strings.Builder
+	for h, hs := range p.slots {
+		fmt.Fprintf(&b, "host%d[", h)
+		for s, a := range hs {
+			if s > 0 {
+				b.WriteByte(' ')
+			}
+			if a == "" {
+				b.WriteByte('-')
+			} else {
+				b.WriteString(a)
+			}
+		}
+		b.WriteByte(']')
+		if h != len(p.slots)-1 {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// Demand describes how many units each application needs placed.
+type Demand struct {
+	App   string
+	Units int
+}
+
+// RandomValid builds a random placement of the demands that satisfies
+// Validate under the pairwise co-location rule, using rejection sampling
+// over random slot permutations. It fails after maxTries attempts, which
+// practically never happens for the paper's configurations (4 apps x 4
+// units on 8x2 slots).
+func RandomValid(rng *sim.RNG, numHosts, slotsPerHost int, demands []Demand, maxTries int) (*Placement, error) {
+	return RandomValidLimit(rng, numHosts, slotsPerHost, 0, demands, maxTries)
+}
+
+// RandomValidLimit is RandomValid with an explicit per-host distinct-app
+// limit (0 = pairwise).
+func RandomValidLimit(rng *sim.RNG, numHosts, slotsPerHost, appsLimit int, demands []Demand, maxTries int) (*Placement, error) {
+	total := 0
+	for _, d := range demands {
+		if d.Units <= 0 || d.App == "" {
+			return nil, fmt.Errorf("cluster: bad demand %+v", d)
+		}
+		total += d.Units
+	}
+	if total > numHosts*slotsPerHost {
+		return nil, fmt.Errorf("cluster: %d units exceed %d slots", total, numHosts*slotsPerHost)
+	}
+	if maxTries <= 0 {
+		maxTries = 1000
+	}
+	units := make([]string, 0, total)
+	for _, d := range demands {
+		for i := 0; i < d.Units; i++ {
+			units = append(units, d.App)
+		}
+	}
+	for try := 0; try < maxTries; try++ {
+		p, err := NewPlacementLimit(numHosts, slotsPerHost, appsLimit)
+		if err != nil {
+			return nil, err
+		}
+		perm := rng.Perm(numHosts * slotsPerHost)
+		for i, u := range units {
+			pos := perm[i]
+			p.slots[pos/slotsPerHost][pos%slotsPerHost] = u
+		}
+		if p.Validate() == nil {
+			return p, nil
+		}
+	}
+	return nil, errors.New("cluster: could not sample a valid random placement")
+}
+
+// PackedPlacement builds the deterministic placement that fills hosts in
+// order, one demand after another. It is used as a canonical starting
+// point and in tests. The result may violate Validate if demands are not
+// unit-aligned with hosts; the caller should check.
+func PackedPlacement(numHosts, slotsPerHost int, demands []Demand) (*Placement, error) {
+	p, err := NewPlacement(numHosts, slotsPerHost)
+	if err != nil {
+		return nil, err
+	}
+	host, slot := 0, 0
+	for _, d := range demands {
+		for i := 0; i < d.Units; i++ {
+			if host >= numHosts {
+				return nil, errors.New("cluster: demands exceed capacity")
+			}
+			p.slots[host][slot] = d.App
+			slot++
+			if slot == slotsPerHost {
+				slot = 0
+				host++
+			}
+		}
+	}
+	return p, nil
+}

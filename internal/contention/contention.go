@@ -1,0 +1,293 @@
+// Package contention models performance interference on a single physical
+// node through the two resources the paper identifies as dominant for
+// compute-intensive consolidation: shared last-level cache (LLC) capacity
+// and memory bandwidth (Section 2.1).
+//
+// Each co-located occupant (an application's per-node process group, or a
+// bubble pressure generator) is described by a MemProfile. The Solve
+// function finds the competitive equilibrium of the node:
+//
+//   - LLC capacity is divided in proportion to each occupant's miss rate
+//     (cache insertion pressure), a standard competitive-sharing
+//     approximation of set-associative LRU caches;
+//   - each occupant's miss ratio rises as its share falls below its working
+//     set; and
+//   - memory latency inflates with total bandwidth utilization through an
+//     M/M/1-style queueing term, which is what makes sensitivity curves
+//     saturate at high bubble pressures.
+//
+// The model also carries the Xen Dom0 blocked-I/O effect the paper uses to
+// explain M.Gems' unpredictability (Section 4.3): occupants flagged
+// BlockedIO lose performance when co-runners with fluctuating CPU load
+// starve the driver domain.
+package contention
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Node describes the shared hardware of one physical host. The defaults in
+// DefaultNode mirror the paper's testbed (2x Xeon E5-2650 per host).
+type Node struct {
+	Cores     int     // physical cores
+	LLCMB     float64 // total last-level cache in MB
+	MemBWGBps float64 // sustainable memory bandwidth in GB/s
+	FreqGHz   float64 // core clock
+	MemLatNs  float64 // unloaded memory latency
+}
+
+// DefaultNode returns the paper's host configuration: 16 cores, 2x20 MB
+// LLC, aggregate ~60 GB/s of memory bandwidth at 2.0 GHz.
+func DefaultNode() Node {
+	return Node{Cores: 16, LLCMB: 40, MemBWGBps: 60, FreqGHz: 2.0, MemLatNs: 80}
+}
+
+// Validate reports whether the node configuration is physically meaningful.
+func (n Node) Validate() error {
+	switch {
+	case n.Cores <= 0:
+		return errors.New("contention: node needs at least one core")
+	case n.LLCMB <= 0:
+		return errors.New("contention: non-positive LLC capacity")
+	case n.MemBWGBps <= 0:
+		return errors.New("contention: non-positive memory bandwidth")
+	case n.FreqGHz <= 0:
+		return errors.New("contention: non-positive frequency")
+	case n.MemLatNs <= 0:
+		return errors.New("contention: non-positive memory latency")
+	}
+	return nil
+}
+
+// MemProfile characterizes the memory behaviour of one occupant's processes
+// on a node. The parameters are per-core averages.
+type MemProfile struct {
+	CPICore float64 // cycles per instruction excluding LLC-miss stalls
+	APKI    float64 // LLC accesses per kilo-instruction
+	WSSMB   float64 // working-set size at the LLC level, MB
+	MRMin   float64 // LLC miss ratio when the share covers the working set
+	MRMax   float64 // LLC miss ratio as the share approaches zero
+	Gamma   float64 // shape of the miss-ratio curve vs. normalized share
+	MLP     float64 // memory-level parallelism: overlapped misses per stall
+
+	// BlockedIO marks latency-sensitive blocked I/O usage (the paper's
+	// M.Gems): performance additionally depends on CPU headroom for the
+	// Xen driver domain.
+	BlockedIO bool
+	// CPUFluct in [0,1] describes how bursty the occupant's CPU load is;
+	// bursty co-runners (Hadoop/Spark) starve Dom0 intermittently and
+	// hurt BlockedIO occupants.
+	CPUFluct float64
+}
+
+// Validate reports whether the profile is physically meaningful.
+func (p MemProfile) Validate() error {
+	switch {
+	case p.CPICore <= 0:
+		return errors.New("contention: non-positive core CPI")
+	case p.APKI < 0:
+		return errors.New("contention: negative APKI")
+	case p.WSSMB < 0:
+		return errors.New("contention: negative working set")
+	case p.MRMin < 0 || p.MRMin > 1:
+		return fmt.Errorf("contention: MRMin %v outside [0,1]", p.MRMin)
+	case p.MRMax < p.MRMin || p.MRMax > 1:
+		return fmt.Errorf("contention: MRMax %v outside [MRMin,1]", p.MRMax)
+	case p.Gamma <= 0:
+		return errors.New("contention: non-positive gamma")
+	case p.MLP < 1:
+		return errors.New("contention: MLP must be >= 1")
+	case p.CPUFluct < 0 || p.CPUFluct > 1:
+		return errors.New("contention: CPUFluct outside [0,1]")
+	}
+	return nil
+}
+
+// MissRatio returns the LLC miss ratio of the profile when granted shareMB
+// of cache.
+func (p MemProfile) MissRatio(shareMB float64) float64 {
+	if p.WSSMB <= 0 {
+		return p.MRMin
+	}
+	cover := shareMB / p.WSSMB
+	if cover > 1 {
+		cover = 1
+	}
+	if cover < 0 {
+		cover = 0
+	}
+	return p.MRMax - (p.MRMax-p.MRMin)*math.Pow(cover, p.Gamma)
+}
+
+// Occupant is one co-located workload component on a node.
+type Occupant struct {
+	Name  string
+	Prof  MemProfile
+	Cores int // physical cores the occupant's vCPUs are pinned to
+}
+
+// Result reports the node equilibrium for a set of occupants. Slices are
+// indexed like the occupant slice passed to Solve.
+type Result struct {
+	CPI      []float64 // effective cycles/instruction
+	Slowdown []float64 // CPI relative to running alone on the node
+	ShareMB  []float64 // LLC capacity granted
+	MissGBps []float64 // memory traffic generated
+	BWUtil   float64   // total bandwidth utilization in [0, ~1)
+}
+
+const (
+	// fixedPointIters bounds the damped share/latency iteration; the
+	// system is a contraction in practice and converges in far fewer.
+	fixedPointIters = 60
+	// damping for the share update.
+	damping = 0.5
+	// bwUtilCap keeps the queueing term finite.
+	bwUtilCap = 0.96
+	// queueWeight scales the M/M/1 latency inflation.
+	queueWeight = 1.0
+	// cacheLineBytes converts miss rates to bandwidth.
+	cacheLineBytes = 64
+	// dom0Penalty scales the blocked-I/O slowdown per unit of co-runner
+	// CPU fluctuation weighted by their core share.
+	dom0Penalty = 0.35
+)
+
+// Solve computes the contention equilibrium of node with the given
+// occupants. Occupants may not oversubscribe the node's cores (the paper's
+// testbed never overcommits vCPUs, Section 3.1).
+func Solve(node Node, occ []Occupant) (Result, error) {
+	if err := node.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(occ) == 0 {
+		return Result{}, errors.New("contention: no occupants")
+	}
+	totalCores := 0
+	for i, o := range occ {
+		if err := o.Prof.Validate(); err != nil {
+			return Result{}, fmt.Errorf("occupant %d (%s): %w", i, o.Name, err)
+		}
+		if o.Cores <= 0 {
+			return Result{}, fmt.Errorf("occupant %d (%s): non-positive cores", i, o.Name)
+		}
+		totalCores += o.Cores
+	}
+	if totalCores > node.Cores {
+		return Result{}, fmt.Errorf("contention: %d cores requested on a %d-core node", totalCores, node.Cores)
+	}
+
+	n := len(occ)
+	share := make([]float64, n)
+	for i := range share {
+		share[i] = node.LLCMB / float64(n)
+	}
+	cpi := make([]float64, n)
+	missGBps := make([]float64, n)
+	util := 0.0
+
+	for iter := 0; iter < fixedPointIters; iter++ {
+		latEff := node.MemLatNs * (1 + queueWeight*util/(1-util))
+		var totalGBps float64
+		miss := make([]float64, n) // misses per second, for share competition
+		for i, o := range occ {
+			mr := o.Prof.MissRatio(share[i])
+			missPI := o.Prof.APKI / 1000 * mr // misses per instruction
+			stallNs := missPI * latEff / o.Prof.MLP
+			cpi[i] = o.Prof.CPICore + stallNs*node.FreqGHz
+			ips := float64(o.Cores) * node.FreqGHz * 1e9 / cpi[i] // instr/s
+			miss[i] = ips * missPI
+			missGBps[i] = miss[i] * cacheLineBytes / 1e9
+			totalGBps += missGBps[i]
+		}
+		newUtil := math.Min(totalGBps/node.MemBWGBps, bwUtilCap)
+		util = damping*util + (1-damping)*newUtil
+
+		var totalMiss float64
+		for _, m := range miss {
+			totalMiss += m
+		}
+		if totalMiss > 0 {
+			for i := range share {
+				target := node.LLCMB * miss[i] / totalMiss
+				share[i] = damping*share[i] + (1-damping)*target
+			}
+		}
+	}
+
+	res := Result{
+		CPI:      cpi,
+		Slowdown: make([]float64, n),
+		ShareMB:  share,
+		MissGBps: missGBps,
+		BWUtil:   util,
+	}
+	for i, o := range occ {
+		solo, err := SoloCPI(node, o)
+		if err != nil {
+			return Result{}, err
+		}
+		sd := cpi[i] / solo
+		// Xen Dom0 blocked-I/O effect: co-runners with bursty CPU load
+		// intermittently deny the driver domain, hurting blocked I/O.
+		if o.Prof.BlockedIO {
+			var pressure float64
+			for j, other := range occ {
+				if j == i {
+					continue
+				}
+				coreFrac := float64(other.Cores) / float64(node.Cores)
+				pressure += other.Prof.CPUFluct * coreFrac
+			}
+			sd *= 1 + dom0Penalty*pressure
+		}
+		if sd < 1 {
+			sd = 1
+		}
+		res.Slowdown[i] = sd
+	}
+	return res, nil
+}
+
+// SoloCPI returns the effective CPI of an occupant running alone on the
+// node (full LLC, private bandwidth, still subject to its own queueing).
+func SoloCPI(node Node, o Occupant) (float64, error) {
+	if err := node.Validate(); err != nil {
+		return 0, err
+	}
+	if err := o.Prof.Validate(); err != nil {
+		return 0, err
+	}
+	if o.Cores <= 0 {
+		return 0, errors.New("contention: non-positive cores")
+	}
+	util := 0.0
+	cpi := o.Prof.CPICore
+	mr := o.Prof.MissRatio(node.LLCMB)
+	missPI := o.Prof.APKI / 1000 * mr
+	for iter := 0; iter < fixedPointIters; iter++ {
+		latEff := node.MemLatNs * (1 + queueWeight*util/(1-util))
+		cpi = o.Prof.CPICore + missPI*latEff/o.Prof.MLP*node.FreqGHz
+		ips := float64(o.Cores) * node.FreqGHz * 1e9 / cpi
+		gbps := ips * missPI * cacheLineBytes / 1e9
+		newUtil := math.Min(gbps/node.MemBWGBps, bwUtilCap)
+		util = damping*util + (1-damping)*newUtil
+	}
+	return cpi, nil
+}
+
+// SoloMissGBps returns the memory traffic of an occupant running alone,
+// used to express the paper's pressure scale (a score increase of 1
+// corresponds to a doubling of LLC misses, Section 4.4).
+func SoloMissGBps(node Node, o Occupant) (float64, error) {
+	cpi, err := SoloCPI(node, o)
+	if err != nil {
+		return 0, err
+	}
+	mr := o.Prof.MissRatio(node.LLCMB)
+	missPI := o.Prof.APKI / 1000 * mr
+	ips := float64(o.Cores) * node.FreqGHz * 1e9 / cpi
+	return ips * missPI * cacheLineBytes / 1e9, nil
+}

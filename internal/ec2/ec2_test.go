@@ -1,0 +1,126 @@
+package ec2
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/workloads"
+)
+
+func TestClusterShape(t *testing.T) {
+	c := Cluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumHosts != 32 {
+		t.Errorf("hosts = %d, want 32", c.NumHosts)
+	}
+	if c.NetLatencyUs <= 30 {
+		t.Error("EC2 fabric should have higher latency than the private switch")
+	}
+}
+
+func TestPow2(t *testing.T) {
+	cases := map[float64]float64{0: 1, 1: 2, 2: 4, 3: 8, -1: 0.5, -2: 0.25}
+	for x, want := range cases {
+		if got := pow2(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("pow2(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Fractional values interpolate monotonically.
+	if !(pow2(1) < pow2(1.5) && pow2(1.5) < pow2(2)) {
+		t.Error("pow2 not monotone on fractions")
+	}
+}
+
+func TestNewEnvHasBackground(t *testing.T) {
+	env, err := NewEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.UnitCores != UnitCores {
+		t.Errorf("unit cores = %d, want %d", env.UnitCores, UnitCores)
+	}
+	if env.Background == nil {
+		t.Fatal("background interference must be enabled")
+	}
+}
+
+func TestBackgroundMakesRunsNoisier(t *testing.T) {
+	w, err := workloads.ByName("M.milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec2Env, err := NewEnv(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec2Env.Reps = 2
+	quiet, err := measure.NewEnv(Cluster(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet.Reps = 2
+	quiet.UnitCores = UnitCores
+	ps := make([]float64, 8)
+	noisy, err := ec2Env.RunWithBubbles(w, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := quiet.RunWithBubbles(w, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy <= clean {
+		t.Errorf("background tenants should slow the app: %v vs %v", noisy, clean)
+	}
+}
+
+func TestInterferingCounts(t *testing.T) {
+	counts := InterferingCounts()
+	want := []int{0, 1, 2, 4, 8, 16, 24, 32}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestValidationWorkloadsResolve(t *testing.T) {
+	names := ValidationWorkloads()
+	if len(names) != 4 {
+		t.Fatalf("want 4 workloads, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, err := workloads.ByName(n); err != nil {
+			t.Errorf("workload %s: %v", n, err)
+		}
+	}
+}
+
+func TestEC2RunsAcross32Nodes(t *testing.T) {
+	env, err := NewEnv(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reps = 1
+	w, _ := workloads.ByName("M.zeus")
+	ps, err := measure.HomogeneousPressures(32, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := env.NormalizedWithBubbles(w, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Background eras differ between the solo and interfered
+	// measurements, so the normalized time is noisy — but it must stay
+	// in a plausible band.
+	if norm < 0.75 || norm > 5 {
+		t.Errorf("normalized = %v outside plausible band", norm)
+	}
+}

@@ -1,0 +1,102 @@
+// Package energy quantifies the energy use-case of the paper's
+// conclusion: "the proposed model can be used for the overall energy
+// reduction to minimize the wasted CPU resources, when interference in
+// some nodes is unavoidable for distributed applications with high
+// interference propagation."
+//
+// The accounting is deliberately simple and follows directly from the
+// model's quantities. An application occupying `units` logical nodes for a
+// normalized execution time T consumes units * T node-time; its useful
+// work is units * 1 (the solo run). Everything above that is *waste* —
+// cycles the cluster burns while nodes idle at barriers behind interfered
+// stragglers or grind through inflated memory stalls. A placement's waste
+// is the sum over its applications, and the model predicts it without
+// running anything, so a placement search can minimize energy exactly the
+// way Section 5.3 maximizes throughput.
+package energy
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Account is the energy decomposition of one placement, in node-time
+// units normalized to a single application's solo run (multiply by
+// per-node power and the solo duration for joules).
+type Account struct {
+	// Useful is the node-time a perfectly isolated execution would use:
+	// the sum of units over applications.
+	Useful float64
+	// Waste is the additional node-time caused by interference.
+	Waste float64
+	// PerApp breaks the waste down by application.
+	PerApp map[string]float64
+}
+
+// Total returns the full node-time bill.
+func (a Account) Total() float64 { return a.Useful + a.Waste }
+
+// WasteFraction returns the wasted share of the total (0 when idle-free).
+func (a Account) WasteFraction() float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return a.Waste / t
+}
+
+// FromNormalized builds the account from per-application normalized
+// execution times (measured or predicted) and the placement that produced
+// them.
+func FromNormalized(p *cluster.Placement, normalized map[string]float64) (Account, error) {
+	if p == nil {
+		return Account{}, errors.New("energy: nil placement")
+	}
+	apps := p.Apps()
+	if len(apps) == 0 {
+		return Account{}, errors.New("energy: empty placement")
+	}
+	acc := Account{PerApp: map[string]float64{}}
+	for _, a := range apps {
+		t, ok := normalized[a]
+		if !ok {
+			return Account{}, fmt.Errorf("energy: no normalized time for %q", a)
+		}
+		if t < 1 {
+			// Normalized times below 1 are measurement noise; they
+			// cannot represent negative energy.
+			t = 1
+		}
+		units := float64(p.UnitsOf(a))
+		acc.Useful += units
+		waste := units * (t - 1)
+		acc.Waste += waste
+		acc.PerApp[a] = waste
+	}
+	return acc, nil
+}
+
+// Predict builds the account from model predictions alone, the quantity
+// an energy-aware placement search would minimize.
+func Predict(p *cluster.Placement, predictors map[string]core.Predictor, scores map[string]float64) (Account, error) {
+	predicted, err := core.PredictPlacement(p, predictors, scores)
+	if err != nil {
+		return Account{}, err
+	}
+	return FromNormalized(p, predicted)
+}
+
+// Savings compares two placements of the same workload set and returns
+// the waste reduction of `better` relative to `worse` as a fraction of
+// worse's waste (1 = all waste eliminated). Zero waste in `worse` yields
+// zero.
+func Savings(worse, better Account) float64 {
+	if worse.Waste <= 0 {
+		return 0
+	}
+	s := (worse.Waste - better.Waste) / worse.Waste
+	return s
+}

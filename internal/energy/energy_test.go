@@ -1,0 +1,101 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func twoAppPlacement(t *testing.T) *cluster.Placement {
+	t.Helper()
+	p, err := cluster.PackedPlacement(4, 2, []cluster.Demand{
+		{App: "A", Units: 4}, {App: "B", Units: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromNormalized(t *testing.T) {
+	p := twoAppPlacement(t)
+	acc, err := FromNormalized(p, map[string]float64{"A": 1.5, "B": 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Useful != 8 {
+		t.Errorf("useful = %v, want 8 units", acc.Useful)
+	}
+	if math.Abs(acc.Waste-2.0) > 1e-12 { // 4 units * 0.5 excess
+		t.Errorf("waste = %v, want 2.0", acc.Waste)
+	}
+	if acc.PerApp["A"] != 2.0 || acc.PerApp["B"] != 0 {
+		t.Errorf("per-app split wrong: %+v", acc.PerApp)
+	}
+	if math.Abs(acc.Total()-10) > 1e-12 {
+		t.Errorf("total = %v, want 10", acc.Total())
+	}
+	if math.Abs(acc.WasteFraction()-0.2) > 1e-12 {
+		t.Errorf("waste fraction = %v, want 0.2", acc.WasteFraction())
+	}
+}
+
+func TestFromNormalizedValidation(t *testing.T) {
+	p := twoAppPlacement(t)
+	if _, err := FromNormalized(nil, nil); err == nil {
+		t.Error("nil placement should fail")
+	}
+	empty, _ := cluster.NewPlacement(2, 2)
+	if _, err := FromNormalized(empty, nil); err == nil {
+		t.Error("empty placement should fail")
+	}
+	if _, err := FromNormalized(p, map[string]float64{"A": 1.2}); err == nil {
+		t.Error("missing app should fail")
+	}
+	// Sub-1 normalized times clamp to zero waste rather than going
+	// negative.
+	acc, err := FromNormalized(p, map[string]float64{"A": 0.9, "B": 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Waste != 0 {
+		t.Errorf("sub-1 normalized time produced waste %v", acc.Waste)
+	}
+}
+
+type constPred float64
+
+func (c constPred) PredictPressures([]float64) (float64, error) { return float64(c), nil }
+
+func TestPredict(t *testing.T) {
+	p := twoAppPlacement(t)
+	preds := map[string]core.Predictor{"A": constPred(1.25), "B": constPred(1.0)}
+	scores := map[string]float64{"A": 2, "B": 3}
+	acc, err := Predict(p, preds, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.Waste-1.0) > 1e-12 {
+		t.Errorf("predicted waste = %v, want 1.0", acc.Waste)
+	}
+	if _, err := Predict(p, map[string]core.Predictor{}, scores); err == nil {
+		t.Error("missing predictor should fail")
+	}
+}
+
+func TestSavings(t *testing.T) {
+	worse := Account{Useful: 8, Waste: 4}
+	better := Account{Useful: 8, Waste: 1}
+	if got := Savings(worse, better); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("savings = %v, want 0.75", got)
+	}
+	if got := Savings(Account{}, better); got != 0 {
+		t.Errorf("zero-waste baseline savings = %v, want 0", got)
+	}
+	// A worse "better" yields negative savings.
+	if got := Savings(better, worse); got >= 0 {
+		t.Errorf("regression should be negative, got %v", got)
+	}
+}

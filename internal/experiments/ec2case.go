@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+
+	ec2env "repro/internal/ec2"
+)
+
+// Figure12 regenerates the EC2 propagation curves: normalized execution
+// time of the four validation workloads with 0-32 interfering VMs at each
+// bubble pressure, under unmeasured background-tenant interference.
+func (l *Lab) Figure12() (Output, error) {
+	env, err := l.EC2Env()
+	if err != nil {
+		return Output{}, err
+	}
+	pressures := l.Cfg.pressures()
+	counts := ec2env.InterferingCounts()
+	var tables []*report.Table
+	for _, name := range ec2env.ValidationWorkloads() {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return Output{}, err
+		}
+		headers := []string{"pressure \\ nodes"}
+		for _, c := range counts {
+			headers = append(headers, fmt.Sprint(c))
+		}
+		tb := report.NewTable(fmt.Sprintf("Figure 12: %s on EC2 (32 VMs)", name), headers...)
+		for _, p := range pressures {
+			row := []string{report.F(p, 0)}
+			for _, c := range counts {
+				ps, err := measure.HomogeneousPressures(ec2env.Nodes, c, p)
+				if err != nil {
+					return Output{}, err
+				}
+				v, err := env.NormalizedWithBubbles(w, ps)
+				if err != nil {
+					return Output{}, err
+				}
+				row = append(row, report.Norm(v))
+			}
+			tb.MustAddRow(row...)
+		}
+		tables = append(tables, tb)
+	}
+	return Output{
+		ID:     "Figure 12",
+		Title:  "EC2 propagation curves under uncontrolled background interference",
+		Tables: tables,
+		Notes: []string{
+			"Same qualitative shapes as the private cluster (Fig. 3), noisier because of",
+			"unmeasured tenant interference that varies between runs.",
+		},
+	}, nil
+}
+
+// Table6 regenerates the EC2 heterogeneity policy selection (100 samples
+// per workload) with the expected accuracy degradation relative to the
+// private cluster.
+func (l *Lab) Table6() (Output, error) {
+	tb := report.NewTable("Table 6: best heterogeneity mapping policy on EC2",
+		"workload", "best policy", "avg error(%)", "std dev")
+	var ec2Errs, privErrs []float64
+	for _, name := range ec2env.ValidationWorkloads() {
+		m, err := l.EC2Model(name)
+		if err != nil {
+			return Output{}, err
+		}
+		tb.MustAddRow(name, m.Policy.String(),
+			report.F(m.Selection.BestStats.AvgPct, 2), report.F(m.Selection.BestStats.StdPct, 2))
+		ec2Errs = append(ec2Errs, m.Selection.BestStats.AvgPct)
+		pm, err := l.Model(name)
+		if err != nil {
+			return Output{}, err
+		}
+		privErrs = append(privErrs, pm.Selection.BestStats.AvgPct)
+	}
+	return Output{
+		ID:     "Table 6",
+		Title:  "Heterogeneity policies on EC2",
+		Tables: []*report.Table{tb},
+		Notes: []string{
+			fmt.Sprintf("Mean best-policy error: EC2 %.2f%% vs. private cluster %.2f%% —",
+				stats.Mean(ec2Errs), stats.Mean(privErrs)),
+			"uncontrolled neighbours raise the error, as the paper reports.",
+		},
+	}, nil
+}
+
+// Figure13 regenerates the EC2 model validation: each of the four
+// workloads co-run with the others, prediction error per application.
+func (l *Lab) Figure13() (Output, error) {
+	env, err := l.EC2Env()
+	if err != nil {
+		return Output{}, err
+	}
+	names := ec2env.ValidationWorkloads()
+	tb := report.NewTable("Figure 13: EC2 validation error per application",
+		"workload", "avg error(%)", "max error(%)")
+	for _, appName := range names {
+		model, err := l.EC2Model(appName)
+		if err != nil {
+			return Output{}, err
+		}
+		var errs []float64
+		for _, coName := range names {
+			if coName == appName {
+				continue
+			}
+			_, _, e, err := l.validationError(env, model, appName, coName, ec2env.Nodes)
+			if err != nil {
+				return Output{}, err
+			}
+			errs = append(errs, e)
+		}
+		mx, err := stats.Max(errs)
+		if err != nil {
+			return Output{}, err
+		}
+		tb.MustAddRow(appName, report.F(stats.Mean(errs), 2), report.F(mx, 2))
+	}
+	return Output{
+		ID:     "Figure 13",
+		Title:  "EC2 model validation",
+		Tables: []*report.Table{tb},
+		Notes: []string{
+			"Expected range: mid single digits to ~10% — higher than the private cluster",
+			"because background interference is present but invisible to the model.",
+		},
+	}, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Energy evaluates the conclusion's energy use-case: how much wasted
+// CPU node-time (cycles burnt idling at barriers behind interfered
+// stragglers, or grinding through inflated memory stalls) the
+// interference-aware placement eliminates relative to the worst and random
+// placements, measured on the simulator for the Table 5 mixes.
+func (l *Lab) Energy() (Output, error) {
+	tb := report.NewTable(
+		"Energy: wasted node-time per placement (fraction of total CPU time; simulated)",
+		"mix", "best (model)", "random (5 avg)", "worst", "waste eliminated")
+	mixes := table5Mixes()
+	if l.Cfg.Quick {
+		mixes = []mix{mixes[0], mixes[5], mixes[9]}
+	}
+	var savings []float64
+	for _, m := range mixes {
+		req, reg, err := l.mixRequest(m, false)
+		if err != nil {
+			return Output{}, err
+		}
+		iters := l.Cfg.placementIters()
+		bestCfg := placement.DefaultConfig(l.Cfg.Seed + 101)
+		bestCfg.Iterations = iters
+		best, err := placement.Search(req, bestCfg)
+		if err != nil {
+			return Output{}, err
+		}
+		worstCfg := placement.DefaultConfig(l.Cfg.Seed + 103)
+		worstCfg.Iterations = iters
+		worstCfg.Goal = placement.Worst
+		worst, err := placement.Search(req, worstCfg)
+		if err != nil {
+			return Output{}, err
+		}
+		randoms, err := placement.RandomOutcome(req, 5, l.Cfg.Seed+107)
+		if err != nil {
+			return Output{}, err
+		}
+
+		account := func(p *cluster.Placement, r map[string]workloads.Workload) (energy.Account, error) {
+			_, outs, err := l.weightedNormalizedSum(p, r)
+			if err != nil {
+				return energy.Account{}, err
+			}
+			norm := map[string]float64{}
+			for a, o := range outs {
+				norm[a] = o.Normalized
+			}
+			return energy.FromNormalized(p, norm)
+		}
+		bestAcc, err := account(best.Placement, reg)
+		if err != nil {
+			return Output{}, err
+		}
+		worstAcc, err := account(worst.Placement, reg)
+		if err != nil {
+			return Output{}, err
+		}
+		var rndFrac float64
+		for _, r := range randoms {
+			acc, err := account(r.Placement, reg)
+			if err != nil {
+				return Output{}, err
+			}
+			rndFrac += acc.WasteFraction()
+		}
+		rndFrac /= float64(len(randoms))
+		saved := energy.Savings(worstAcc, bestAcc)
+		savings = append(savings, 100*saved)
+		tb.MustAddRow(m.id,
+			report.F(bestAcc.WasteFraction(), 3),
+			report.F(rndFrac, 3),
+			report.F(worstAcc.WasteFraction(), 3),
+			report.Pct(100*saved))
+	}
+	return Output{
+		ID:     "Energy",
+		Title:  "Energy use-case: wasted CPU node-time across placements (not a paper artifact)",
+		Tables: []*report.Table{tb},
+		Notes: []string{
+			fmt.Sprintf("Mean waste eliminated by the model-driven placement vs. the worst: %.0f%%.",
+				stats.Mean(savings)),
+			"This quantifies the conclusion's claim that the model can drive overall energy",
+			"reduction by minimizing CPU resources wasted to interference.",
+		},
+	}, nil
+}

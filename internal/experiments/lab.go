@@ -1,0 +1,296 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, regenerating each artifact on the simulated cluster:
+//
+//	Figure 2          — motivating example (naive vs. real, M.lmps + C.libq)
+//	Figure 3          — interference propagation curves, 12 distributed apps
+//	Figure 4/Table 2  — heterogeneity policy errors and best policy per app
+//	Table 3/Figs 6-7  — profiling algorithm cost and accuracy
+//	Table 4           — bubble scores of all 18 workloads
+//	Figure 8          — model validation errors, pairwise co-runs
+//	Figure 9          — predicted vs. actual with the M.Gems co-runner
+//	Figure 10         — QoS-aware placement, 4 mixes
+//	Table 5/Figure 11 — throughput placement over 10 mixes
+//	Figure 12         — EC2 propagation curves
+//	Table 6           — EC2 heterogeneity policies
+//	Figure 13         — EC2 validation errors
+//
+// Runners share a Lab, which caches the measurement environment and the
+// per-application models so that later experiments reuse earlier profiling
+// (as the paper's methodology does).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ec2"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Config tunes experiment scale. Quick mode shrinks sampling so the whole
+// suite stays test-friendly; full mode matches the paper's sample counts.
+type Config struct {
+	Seed  int64
+	Quick bool
+}
+
+// DefaultConfig is the full-fidelity configuration.
+func DefaultConfig() Config { return Config{Seed: 2016} }
+
+// knobs derived from Config.
+func (c Config) reps() int {
+	if c.Quick {
+		return 2
+	}
+	return 3
+}
+
+func (c Config) heteroSamples() int {
+	if c.Quick {
+		return 15
+	}
+	return 60 // the paper's 60-sample search (Section 3.3)
+}
+
+func (c Config) ec2Samples() int {
+	if c.Quick {
+		return 20
+	}
+	return 100 // the paper's EC2 sample count (Section 6)
+}
+
+func (c Config) placementIters() int {
+	if c.Quick {
+		return 600
+	}
+	return 4000
+}
+
+func (c Config) pressures() []float64 {
+	if c.Quick {
+		return []float64{2, 5, 8}
+	}
+	return []float64{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// Output is one regenerated artifact.
+type Output struct {
+	ID     string // e.g. "Table 2"
+	Title  string
+	Tables []*report.Table
+	Notes  []string
+}
+
+// Lab holds the shared environment and model caches for a run of the
+// experiment suite.
+type Lab struct {
+	Cfg Config
+	Env *measure.Env // private 8-node cluster
+
+	mu      sync.Mutex
+	models  map[string]*core.Model
+	naives  map[string]*core.NaiveModel
+	ec2Env  *measure.Env
+	ec2Mods map[string]*core.Model
+}
+
+// NewLab builds a lab over the paper's private cluster.
+func NewLab(cfg Config) (*Lab, error) {
+	env, err := measure.NewEnv(cluster.Default(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	env.Reps = cfg.reps()
+	return &Lab{
+		Cfg:     cfg,
+		Env:     env,
+		models:  map[string]*core.Model{},
+		naives:  map[string]*core.NaiveModel{},
+		ec2Mods: map[string]*core.Model{},
+	}, nil
+}
+
+// buildCfg is the model construction configuration for the private
+// cluster.
+func (l *Lab) buildCfg() core.BuildConfig {
+	cfg := core.DefaultBuildConfig()
+	cfg.Samples = l.Cfg.heteroSamples()
+	cfg.Seed = l.Cfg.Seed
+	return cfg
+}
+
+// Model returns (building and caching on first use) the interference model
+// of the named workload on the private cluster.
+func (l *Lab) Model(name string) (*core.Model, error) {
+	l.mu.Lock()
+	if m, ok := l.models[name]; ok {
+		l.mu.Unlock()
+		return m, nil
+	}
+	l.mu.Unlock()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	// Batch workloads are profiled across 8 nodes like distributed ones:
+	// they aggregate proportionally by construction, but their
+	// propagation matrix is still well-defined and the placement layer
+	// treats every application uniformly.
+	cfg := l.buildCfg()
+	cfg.Nodes = 8
+	m, err := core.BuildModel(l.Env, w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: model for %s: %w", name, err)
+	}
+	l.mu.Lock()
+	l.models[name] = m
+	l.mu.Unlock()
+	return m, nil
+}
+
+// Naive returns the baseline proportional model for the named workload.
+func (l *Lab) Naive(name string) (*core.NaiveModel, error) {
+	l.mu.Lock()
+	if m, ok := l.naives[name]; ok {
+		l.mu.Unlock()
+		return m, nil
+	}
+	l.mu.Unlock()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.BuildNaiveModel(l.Env, w, 8)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.naives[name] = m
+	l.mu.Unlock()
+	return m, nil
+}
+
+// EC2Env returns (lazily) the EC2 measurement environment.
+func (l *Lab) EC2Env() (*measure.Env, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ec2Env != nil {
+		return l.ec2Env, nil
+	}
+	env, err := ec2.NewEnv(l.Cfg.Seed + 6)
+	if err != nil {
+		return nil, err
+	}
+	env.Reps = l.Cfg.reps()
+	l.ec2Env = env
+	return env, nil
+}
+
+// EC2Model returns (building and caching on first use) the model of the
+// named workload on the EC2 environment (32 nodes).
+func (l *Lab) EC2Model(name string) (*core.Model, error) {
+	l.mu.Lock()
+	if m, ok := l.ec2Mods[name]; ok {
+		l.mu.Unlock()
+		return m, nil
+	}
+	l.mu.Unlock()
+	env, err := l.EC2Env()
+	if err != nil {
+		return nil, err
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.buildCfg()
+	cfg.Nodes = ec2.Nodes
+	cfg.Samples = l.Cfg.ec2Samples()
+	m, err := core.BuildModel(env, w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: EC2 model for %s: %w", name, err)
+	}
+	l.mu.Lock()
+	l.ec2Mods[name] = m
+	l.mu.Unlock()
+	return m, nil
+}
+
+// distributedNames returns the 12 distributed workload names in Table 1
+// order.
+func distributedNames() []string {
+	var out []string
+	for _, w := range workloads.DistributedAll() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID  string
+	Run func(*Lab) (Output, error)
+}
+
+// Runners lists every experiment in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"figure2", (*Lab).Figure2},
+		{"figure3", (*Lab).Figure3},
+		{"table2", (*Lab).Table2Figure4},
+		{"table3", (*Lab).Table3Figures67},
+		{"table4", (*Lab).Table4},
+		{"figure8", (*Lab).Figure8},
+		{"figure9", (*Lab).Figure9},
+		{"figure10", (*Lab).Figure10},
+		{"figure11", (*Lab).Figure11Table5},
+		{"figure12", (*Lab).Figure12},
+		{"table6", (*Lab).Table6},
+		{"figure13", (*Lab).Figure13},
+	}
+}
+
+// ExtraRunners lists additional experiments that are not paper artifacts
+// (design-choice ablations); they are reachable by ID but excluded from
+// All().
+func ExtraRunners() []Runner {
+	return []Runner{
+		{"figure1", (*Lab).Figure1},
+		{"ablations", (*Lab).Ablations},
+		{"multiway", (*Lab).Multiway},
+		{"energy", (*Lab).Energy},
+	}
+}
+
+// RunnerByID returns the runner with the given ID, searching the paper
+// artifacts first and the extra runners second.
+func RunnerByID(id string) (Runner, error) {
+	for _, r := range append(Runners(), ExtraRunners()...) {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, errors.New("experiments: unknown runner " + id)
+}
+
+// All runs every experiment and returns their outputs in paper order.
+func All(cfg Config) ([]Output, error) {
+	lab, err := NewLab(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var outs []Output
+	for _, r := range Runners() {
+		o, err := r.Run(lab)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// pairPrediction predicts app's normalized time when co-running with co on
+// every one of `nodes` hosts, using app's interference model and co's
+// average bubble score — exactly the information a deployment would have.
+func (l *Lab) pairPrediction(env *measure.Env, model *core.Model, coScore float64, nodes int) (float64, error) {
+	pressures := make([]float64, nodes)
+	for i := range pressures {
+		pressures[i] = coScore
+	}
+	return model.PredictPressures(pressures)
+}
+
+// validationError measures one co-run pair on the environment and returns
+// app's prediction error (percent).
+func (l *Lab) validationError(env *measure.Env, model *core.Model, appName, coName string, nodes int) (predicted, actual, errPct float64, err error) {
+	a, err := workloads.ByName(appName)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := workloads.ByName(coName)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	coScore, err := core.MeasureBubbleScore(env, b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res, err := env.RunPair(a, b, nodes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pred, err := l.pairPrediction(env, model, coScore, nodes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return pred, res.NormalizedA, stats.RelErrPct(pred, res.NormalizedA), nil
+}
+
+// Figure8 regenerates the model validation: every distributed application
+// co-run pairwise with all 18 workloads (including itself); per app the
+// average error with 25th-75th percentile spread.
+func (l *Lab) Figure8() (Output, error) {
+	coRunners := workloads.Names()
+	apps := distributedNames()
+	if l.Cfg.Quick {
+		apps = apps[:4]
+		coRunners = coRunners[:6]
+	}
+	tb := report.NewTable("Figure 8: model validation error per application (co-run with every workload)",
+		"workload", "avg error(%)", "p25(%)", "p75(%)", "max(%)")
+	withoutGems := report.NewTable("Figure 8 (aux): average error excluding the M.Gems co-runner",
+		"workload", "avg error(%)")
+	for _, appName := range apps {
+		model, err := l.Model(appName)
+		if err != nil {
+			return Output{}, err
+		}
+		var errs, errsNoGems []float64
+		for _, coName := range coRunners {
+			_, _, e, err := l.validationError(l.Env, model, appName, coName, 8)
+			if err != nil {
+				return Output{}, err
+			}
+			errs = append(errs, e)
+			if coName != "M.Gems" {
+				errsNoGems = append(errsNoGems, e)
+			}
+		}
+		sum, err := stats.Summarize(errs)
+		if err != nil {
+			return Output{}, err
+		}
+		tb.MustAddRow(appName, report.F(sum.Mean, 2), report.F(sum.P25, 2), report.F(sum.P75, 2), report.F(sum.Max, 2))
+		withoutGems.MustAddRow(appName, report.F(stats.Mean(errsNoGems), 2))
+	}
+	return Output{
+		ID:     "Figure 8",
+		Title:  "Model validation: prediction error across all pairwise co-runs",
+		Tables: []*report.Table{tb, withoutGems},
+		Notes: []string{
+			"Expected shape: most workloads under ~10% average error, many under 5%;",
+			"errors drop for several apps once the unpredictable M.Gems co-runner is excluded.",
+		},
+	}, nil
+}
+
+// Figure9 regenerates the M.Gems case study: predicted vs. actual
+// normalized runtimes of every distributed application co-run with M.Gems,
+// and of M.Gems itself against every co-runner (the Dom0 blocked-I/O
+// effect makes the latter the hard direction).
+func (l *Lab) Figure9() (Output, error) {
+	apps := distributedNames()
+	if l.Cfg.Quick {
+		apps = apps[:5]
+	}
+	tb := report.NewTable("Figure 9: predicted vs. actual normalized time, co-running with M.Gems",
+		"workload", "predicted", "actual", "error(%)")
+	for _, appName := range apps {
+		model, err := l.Model(appName)
+		if err != nil {
+			return Output{}, err
+		}
+		pred, actual, e, err := l.validationError(l.Env, model, appName, "M.Gems", 8)
+		if err != nil {
+			return Output{}, err
+		}
+		tb.MustAddRow(appName, report.Norm(pred), report.Norm(actual), report.F(e, 2))
+	}
+	// The reverse direction: M.Gems predicted under each co-runner class.
+	gemsModel, err := l.Model("M.Gems")
+	if err != nil {
+		return Output{}, err
+	}
+	rev := report.NewTable("Figure 9 (aux): M.Gems itself under each co-runner",
+		"co-runner", "predicted", "actual", "error(%)")
+	coNames := []string{"M.milc", "C.libq", "H.KM", "S.WC"}
+	type row struct {
+		name string
+		e    float64
+	}
+	var rows []row
+	for _, coName := range coNames {
+		pred, actual, e, err := l.validationError(l.Env, gemsModel, "M.Gems", coName, 8)
+		if err != nil {
+			return Output{}, err
+		}
+		rev.MustAddRow(coName, report.Norm(pred), report.Norm(actual), report.F(e, 2))
+		rows = append(rows, row{coName, e})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].e < rows[j].e })
+	return Output{
+		ID:     "Figure 9",
+		Title:  "The unpredictable workload: validation with M.Gems",
+		Tables: []*report.Table{tb, rev},
+		Notes: []string{
+			"M.Gems uses latency-sensitive blocked I/O; co-runners with fluctuating CPU load",
+			"(Hadoop/Spark) starve the Xen driver domain, which the bubble-profiled model cannot",
+			"see — so M.Gems' own predictions degrade most under those co-runners.",
+			fmt.Sprintf("Observed error ordering for M.Gems (low to high): %v", func() []string {
+				var out []string
+				for _, r := range rows {
+					out = append(out, r.name)
+				}
+				return out
+			}()),
+		},
+	}, nil
+}

@@ -1,0 +1,71 @@
+package measure
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestRunGroupValidation(t *testing.T) {
+	e := newTestEnv(t)
+	milc := wl(t, "M.milc")
+	if _, err := e.RunGroup(nil, 8); err == nil {
+		t.Error("empty group should fail")
+	}
+	if _, err := e.RunGroup([]workloads.Workload{milc}, 0); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := e.RunGroup([]workloads.Workload{milc}, 99); err == nil {
+		t.Error("too many nodes should fail")
+	}
+	// Three 8-core units exceed a 16-core host.
+	three := []workloads.Workload{milc, wl(t, "C.libq"), wl(t, "H.KM")}
+	if _, err := e.RunGroup(three, 8); err == nil {
+		t.Error("core oversubscription should fail")
+	}
+}
+
+func TestRunGroupMatchesRunPair(t *testing.T) {
+	e := newTestEnv(t)
+	a := wl(t, "M.milc")
+	b := wl(t, "C.libq")
+	pair, err := e.RunPair(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.NormalizedA <= 1 {
+		t.Errorf("milc with libq should slow down: %v", pair.NormalizedA)
+	}
+}
+
+func TestRunGroupThreeWay(t *testing.T) {
+	e := newTestEnv(t)
+	e.UnitCores = 4 // three 4-core units fit with headroom
+	group := []workloads.Workload{wl(t, "M.milc"), wl(t, "C.libq"), wl(t, "H.KM")}
+	outs, err := e.RunGroup(group, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	for i, o := range outs {
+		if o.Time <= 0 || o.Solo <= 0 || o.Normalized < 0.95 {
+			t.Errorf("group member %d outcome broken: %+v", i, o)
+		}
+		if o.Nodes != 8 {
+			t.Errorf("member %d nodes = %d", i, o.Nodes)
+		}
+	}
+	// Two heavy co-runners must hurt milc more than one.
+	pairEnv := newTestEnv(t)
+	pairEnv.UnitCores = 4
+	pair, err := pairEnv.RunGroup([]workloads.Workload{wl(t, "M.milc"), wl(t, "H.KM")}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Normalized <= pair[0].Normalized {
+		t.Errorf("adding libq should hurt milc: three-way %v vs pair %v",
+			outs[0].Normalized, pair[0].Normalized)
+	}
+}

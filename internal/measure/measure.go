@@ -1,0 +1,427 @@
+// Package measure is the experiment harness: it runs distributed workloads
+// on the simulated consolidated cluster under controlled interference
+// (bubbles at chosen pressures on chosen nodes, real co-runner
+// applications, or whole placements) and reports raw and normalized
+// execution times. It is the stand-in for the paper's testbed runs: every
+// profiling, validation, and placement experiment ultimately calls into
+// this package.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/bubble"
+	"repro/internal/cluster"
+	"repro/internal/contention"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// BackgroundFunc injects uncontrolled co-located occupants on a host (the
+// EC2 environment of Section 6). It is called once per host per
+// measurement repetition; returning nil means a quiet host. The stream r
+// identifies the *measurement repetition* (not the host): derive per-host
+// randomness via r.StreamN("host", host), and use direct draws from
+// r.Stream(...) for conditions shared by all hosts during the measurement
+// (e.g. how busy the region is right now).
+type BackgroundFunc func(host int, r *sim.RNG) []contention.Occupant
+
+// Env is a measurement environment: a cluster, a seed, and measurement
+// policy. Construct with NewEnv; the zero value is not usable.
+type Env struct {
+	Cluster   cluster.Cluster
+	Seed      int64
+	Reps      int // repetitions averaged per measurement
+	UnitCores int // cores per application unit on one host
+	// Background, when non-nil, adds unmeasured interference per host.
+	Background BackgroundFunc
+
+	mu        sync.Mutex
+	soloCache map[string]float64
+	nonce     int
+}
+
+// nextNonce returns a fresh measurement identifier. Background interference
+// draws mix it in, so every measurement sees freshly drawn neighbours —
+// the EC2 relocation/churn effect (Section 6). Within one measurement the
+// draw is still deterministic.
+func (e *Env) nextNonce() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nonce++
+	return e.nonce
+}
+
+// backgroundFor materializes the background occupants for a host in a
+// given repetition of the measurement identified by nonce. The stream
+// handed to the background function is per-(measurement, repetition) so
+// that implementations can model conditions shared across hosts.
+func (e *Env) backgroundFor(host, rep, nonce int) []contention.Occupant {
+	if e.Background == nil {
+		return nil
+	}
+	r := e.rng().Stream("background").StreamN("nonce", nonce).StreamN("rep", rep)
+	return e.Background(host, r)
+}
+
+// NewEnv returns an environment over the given cluster with the paper's
+// unit sizing (4 dual-vCPU VMs pinned to 8 cores, from the vm layer) and
+// 3-repetition averaging.
+func NewEnv(c cluster.Cluster, seed int64) (*Env, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	unit := vm.DefaultUnit("unit", 0)
+	// The unit must actually be plannable on the host under the paper's
+	// no-overcommit rule before it can serve as the sizing granule.
+	if _, err := vm.PlanHost(c.HostSpec.Cores, 0, []vm.Unit{unit}); err != nil {
+		return nil, fmt.Errorf("measure: default unit does not fit the host: %w", err)
+	}
+	return &Env{
+		Cluster:   c,
+		Seed:      seed,
+		Reps:      3,
+		UnitCores: unit.Cores(),
+		soloCache: map[string]float64{},
+	}, nil
+}
+
+func (e *Env) net() netsim.Network {
+	return netsim.Network{LatencyUs: e.Cluster.NetLatencyUs, BWGbps: e.Cluster.NetBWGbps}
+}
+
+func (e *Env) rng() *sim.RNG { return sim.NewRNG(e.Seed) }
+
+// slowdownOn solves one host's contention equilibrium and returns the
+// slowdown of the occupant at index 0 (the measured application).
+func (e *Env) slowdownOn(host int, occ []contention.Occupant, rep, nonce int) (float64, error) {
+	occ = append(occ, e.backgroundFor(host, rep, nonce)...)
+	res, err := contention.Solve(e.Cluster.HostSpec, occ)
+	if err != nil {
+		return 0, fmt.Errorf("measure: host %d: %w", host, err)
+	}
+	return res.Slowdown[0], nil
+}
+
+// runOnce executes the workload once with the given per-node slowdowns.
+func (e *Env) runOnce(w workloads.Workload, sd []float64, rep int) (float64, error) {
+	return w.App.Run(app.Params{
+		Slowdown: sd,
+		Net:      e.net(),
+		RNG:      e.rng().Stream("run").Stream(w.Name).StreamN("rep", rep),
+	})
+}
+
+// RunWithBubbles runs w across len(pressures) nodes with a bubble at
+// pressures[i] co-located on node i (0 disables that node's bubble) and
+// returns the mean execution time over the environment's repetitions.
+func (e *Env) RunWithBubbles(w workloads.Workload, pressures []float64) (float64, error) {
+	nodes := len(pressures)
+	if nodes == 0 {
+		return 0, errors.New("measure: empty pressure vector")
+	}
+	if nodes > e.Cluster.NumHosts {
+		return 0, fmt.Errorf("measure: %d nodes on a %d-host cluster", nodes, e.Cluster.NumHosts)
+	}
+	nonce := e.nextNonce()
+	times := make([]float64, 0, e.Reps)
+	for rep := 0; rep < e.Reps; rep++ {
+		sd := make([]float64, nodes)
+		for i, p := range pressures {
+			occ := []contention.Occupant{{Name: w.Name, Prof: w.Prof, Cores: e.UnitCores}}
+			if p > 0 {
+				occ = append(occ, contention.Occupant{Name: "bubble", Prof: bubble.Profile(p), Cores: e.UnitCores})
+			}
+			s, err := e.slowdownOn(i, occ, rep, nonce)
+			if err != nil {
+				return 0, err
+			}
+			sd[i] = s
+		}
+		t, err := e.runOnce(w, sd, rep)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, t)
+	}
+	return stats.Mean(times), nil
+}
+
+// Solo returns the workload's execution time with no controlled
+// interference on the given number of nodes, cached per (workload, nodes).
+func (e *Env) Solo(w workloads.Workload, nodes int) (float64, error) {
+	key := fmt.Sprintf("%s/%d", w.Name, nodes)
+	e.mu.Lock()
+	if t, ok := e.soloCache[key]; ok {
+		e.mu.Unlock()
+		return t, nil
+	}
+	e.mu.Unlock()
+	t, err := e.RunWithBubbles(w, make([]float64, nodes))
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.soloCache[key] = t
+	e.mu.Unlock()
+	return t, nil
+}
+
+// NormalizedWithBubbles returns the execution time under the given bubble
+// pressures normalized to the same-width solo run.
+func (e *Env) NormalizedWithBubbles(w workloads.Workload, pressures []float64) (float64, error) {
+	t, err := e.RunWithBubbles(w, pressures)
+	if err != nil {
+		return 0, err
+	}
+	solo, err := e.Solo(w, len(pressures))
+	if err != nil {
+		return 0, err
+	}
+	if solo <= 0 {
+		return 0, fmt.Errorf("measure: non-positive solo time for %s", w.Name)
+	}
+	return t / solo, nil
+}
+
+// HomogeneousPressures builds a pressure vector of `nodes` entries whose
+// first `interfering` nodes carry `pressure` (the Fig. 3 configurations).
+func HomogeneousPressures(nodes, interfering int, pressure float64) ([]float64, error) {
+	if nodes <= 0 || interfering < 0 || interfering > nodes {
+		return nil, fmt.Errorf("measure: bad homogeneous config nodes=%d interfering=%d", nodes, interfering)
+	}
+	out := make([]float64, nodes)
+	for i := 0; i < interfering; i++ {
+		out[i] = pressure
+	}
+	return out, nil
+}
+
+// RunWithCoRunner runs w across `nodes` nodes with a co-runner application
+// unit on each node listed in coNodes and returns w's mean execution time.
+// The co-runner's units use its slave-generation profile (its master, if
+// any, is assumed to live elsewhere).
+func (e *Env) RunWithCoRunner(w, co workloads.Workload, nodes int, coNodes []int) (float64, error) {
+	if nodes <= 0 || nodes > e.Cluster.NumHosts {
+		return 0, fmt.Errorf("measure: bad node count %d", nodes)
+	}
+	coSet := map[int]bool{}
+	for _, c := range coNodes {
+		if c < 0 || c >= nodes {
+			return 0, fmt.Errorf("measure: co-runner node %d out of range", c)
+		}
+		coSet[c] = true
+	}
+	nonce := e.nextNonce()
+	times := make([]float64, 0, e.Reps)
+	for rep := 0; rep < e.Reps; rep++ {
+		sd := make([]float64, nodes)
+		for i := 0; i < nodes; i++ {
+			occ := []contention.Occupant{{Name: w.Name, Prof: w.Prof, Cores: e.UnitCores}}
+			if coSet[i] {
+				occ = append(occ, contention.Occupant{Name: co.Name, Prof: co.GenProfile(1), Cores: e.UnitCores})
+			}
+			s, err := e.slowdownOn(i, occ, rep, nonce)
+			if err != nil {
+				return 0, err
+			}
+			sd[i] = s
+		}
+		t, err := e.runOnce(w, sd, rep)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, t)
+	}
+	return stats.Mean(times), nil
+}
+
+// PairResult reports a pairwise co-run (Section 4.3's validation setup:
+// both applications span all nodes and share every host).
+type PairResult struct {
+	TimeA, TimeB             float64
+	NormalizedA, NormalizedB float64
+}
+
+// RunPair co-runs applications a and b across `nodes` nodes, each holding
+// one unit of each on every node.
+func (e *Env) RunPair(a, b workloads.Workload, nodes int) (PairResult, error) {
+	outs, err := e.RunGroup([]workloads.Workload{a, b}, nodes)
+	if err != nil {
+		return PairResult{}, err
+	}
+	return PairResult{
+		TimeA: outs[0].Time, TimeB: outs[1].Time,
+		NormalizedA: outs[0].Normalized, NormalizedB: outs[1].Normalized,
+	}, nil
+}
+
+// RunGroup co-runs any number of applications across `nodes` nodes, each
+// holding one unit of every application on every node. Groups larger than
+// two exercise the multi-way co-location extension (Section 4.4); the
+// host must have enough cores for len(apps) units.
+func (e *Env) RunGroup(apps []workloads.Workload, nodes int) ([]AppOutcome, error) {
+	if len(apps) == 0 {
+		return nil, errors.New("measure: empty application group")
+	}
+	if nodes <= 0 || nodes > e.Cluster.NumHosts {
+		return nil, fmt.Errorf("measure: bad node count %d", nodes)
+	}
+	if len(apps)*e.UnitCores > e.Cluster.HostSpec.Cores {
+		return nil, fmt.Errorf("measure: %d units of %d cores exceed host cores", len(apps), e.UnitCores)
+	}
+	nonce := e.nextNonce()
+	sums := make([]float64, len(apps))
+	for rep := 0; rep < e.Reps; rep++ {
+		sd := make([][]float64, len(apps))
+		for j := range sd {
+			sd[j] = make([]float64, nodes)
+		}
+		for i := 0; i < nodes; i++ {
+			occ := make([]contention.Occupant, 0, len(apps)+1)
+			for _, a := range apps {
+				occ = append(occ, contention.Occupant{
+					Name: a.Name, Prof: a.GenProfile(i), Cores: e.UnitCores,
+				})
+			}
+			occ = append(occ, e.backgroundFor(i, rep, nonce)...)
+			res, err := contention.Solve(e.Cluster.HostSpec, occ)
+			if err != nil {
+				return nil, err
+			}
+			for j := range apps {
+				sd[j][i] = res.Slowdown[j]
+			}
+		}
+		for j, a := range apps {
+			t, err := e.runOnce(a, sd[j], rep)
+			if err != nil {
+				return nil, err
+			}
+			sums[j] += t
+		}
+	}
+	outs := make([]AppOutcome, len(apps))
+	for j, a := range apps {
+		solo, err := e.Solo(a, nodes)
+		if err != nil {
+			return nil, err
+		}
+		mean := sums[j] / float64(e.Reps)
+		outs[j] = AppOutcome{Time: mean, Solo: solo, Normalized: mean / solo, Nodes: nodes}
+	}
+	return outs, nil
+}
+
+// AppOutcome is the measured result for one application in a placement.
+type AppOutcome struct {
+	Time       float64 // mean execution time
+	Solo       float64 // solo time on the same number of nodes
+	Normalized float64 // Time / Solo
+	Nodes      int     // hosts the app occupied
+}
+
+// RunPlacement simulates every application of a placement concurrently
+// sharing the cluster and returns per-application outcomes. reg maps
+// application names to workload definitions.
+//
+// Each *unit* of an application is one logical node of its distributed
+// execution: a 4-unit application always runs 4-wide, and two sibling
+// units packed onto the same host contend with each other exactly like
+// two distinct applications would. The solo baseline is the same
+// application with every unit on a dedicated host — the paper's solo run.
+func (e *Env) RunPlacement(p *cluster.Placement, reg map[string]workloads.Workload) (map[string]AppOutcome, error) {
+	if p == nil {
+		return nil, errors.New("measure: nil placement")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	apps := p.Apps()
+	if len(apps) == 0 {
+		return nil, errors.New("measure: empty placement")
+	}
+	for _, a := range apps {
+		if _, ok := reg[a]; !ok {
+			return nil, fmt.Errorf("measure: placement references unknown workload %q", a)
+		}
+	}
+	// unitIdx maps (app, host, slot) to the unit's logical node index.
+	unitIdx := map[cluster.UnitPos]int{}
+	positions := map[string][]cluster.UnitPos{}
+	for _, a := range apps {
+		pos := p.UnitPositions(a)
+		positions[a] = pos
+		for i, up := range pos {
+			unitIdx[up] = i
+		}
+	}
+
+	nonce := e.nextNonce()
+	sums := map[string]float64{}
+	for rep := 0; rep < e.Reps; rep++ {
+		// Solve every host once per repetition; one occupant per unit,
+		// so sibling units of the same application interfere like any
+		// other co-location.
+		slotSlowdown := map[cluster.UnitPos]float64{}
+		for h := 0; h < p.NumHosts; h++ {
+			var occ []contention.Occupant
+			var occPos []cluster.UnitPos
+			for s := 0; s < p.HostSlots; s++ {
+				a := p.At(h, s)
+				if a == "" {
+					continue
+				}
+				up := cluster.UnitPos{Host: h, Slot: s}
+				occ = append(occ, contention.Occupant{
+					Name:  fmt.Sprintf("%s#%d", a, unitIdx[up]),
+					Prof:  reg[a].GenProfile(unitIdx[up]),
+					Cores: e.UnitCores,
+				})
+				occPos = append(occPos, up)
+			}
+			if len(occ) == 0 {
+				continue
+			}
+			occ = append(occ, e.backgroundFor(h, rep, nonce)...)
+			res, err := contention.Solve(e.Cluster.HostSpec, occ)
+			if err != nil {
+				return nil, fmt.Errorf("measure: host %d: %w", h, err)
+			}
+			for i, up := range occPos {
+				slotSlowdown[up] = res.Slowdown[i]
+			}
+		}
+		for _, a := range apps {
+			pos := positions[a]
+			sd := make([]float64, len(pos))
+			for i, up := range pos {
+				sd[i] = slotSlowdown[up]
+			}
+			t, err := e.runOnce(reg[a], sd, rep)
+			if err != nil {
+				return nil, err
+			}
+			sums[a] += t
+		}
+	}
+	outcomes := map[string]AppOutcome{}
+	for _, a := range apps {
+		units := len(positions[a])
+		solo, err := e.Solo(reg[a], units)
+		if err != nil {
+			return nil, err
+		}
+		mean := sums[a] / float64(e.Reps)
+		outcomes[a] = AppOutcome{
+			Time: mean, Solo: solo, Normalized: mean / solo, Nodes: units,
+		}
+	}
+	return outcomes, nil
+}

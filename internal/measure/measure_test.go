@@ -1,0 +1,336 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/contention"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func newTestEnv(t *testing.T) *Env {
+	t.Helper()
+	e, err := NewEnv(cluster.Default(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reps = 2 // keep tests fast
+	return e
+}
+
+func wl(t *testing.T, name string) workloads.Workload {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewEnvValidates(t *testing.T) {
+	if _, err := NewEnv(cluster.Cluster{}, 1); err == nil {
+		t.Error("invalid cluster should fail")
+	}
+	e, err := NewEnv(cluster.Default(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.UnitCores != cluster.UnitCores || e.Reps != 3 {
+		t.Errorf("defaults: UnitCores=%d Reps=%d", e.UnitCores, e.Reps)
+	}
+}
+
+func TestRunWithBubblesValidation(t *testing.T) {
+	e := newTestEnv(t)
+	w := wl(t, "M.lmps")
+	if _, err := e.RunWithBubbles(w, nil); err == nil {
+		t.Error("empty pressures should fail")
+	}
+	if _, err := e.RunWithBubbles(w, make([]float64, 9)); err == nil {
+		t.Error("more nodes than hosts should fail")
+	}
+}
+
+func TestHomogeneousPressures(t *testing.T) {
+	ps, err := HomogeneousPressures(8, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 8 || ps[0] != 5 || ps[2] != 5 || ps[3] != 0 {
+		t.Errorf("pressures = %v", ps)
+	}
+	for _, bad := range [][2]int{{0, 0}, {4, 5}, {4, -1}} {
+		if _, err := HomogeneousPressures(bad[0], bad[1], 1); err == nil {
+			t.Errorf("config %v should fail", bad)
+		}
+	}
+}
+
+func TestNormalizedSoloIsOne(t *testing.T) {
+	e := newTestEnv(t)
+	w := wl(t, "M.lmps")
+	ps, _ := HomogeneousPressures(8, 0, 0)
+	got, err := e.NormalizedWithBubbles(w, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("solo normalized = %v, want exactly 1 (cached)", got)
+	}
+}
+
+func TestBubbleInterferenceSlowsDown(t *testing.T) {
+	e := newTestEnv(t)
+	w := wl(t, "M.milc")
+	ps, _ := HomogeneousPressures(8, 4, 6)
+	got, err := e.NormalizedWithBubbles(w, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.3 {
+		t.Errorf("M.milc under heavy bubbles normalized = %v, want substantial slowdown", got)
+	}
+}
+
+func TestPropagationClassesEndToEnd(t *testing.T) {
+	e := newTestEnv(t)
+	// One interfering node at pressure 6: the BSP app should jump, the
+	// Hadoop app should stay near 1, the wavefront app in between.
+	one := func(name string) float64 {
+		ps, _ := HomogeneousPressures(8, 1, 6)
+		got, err := e.NormalizedWithBubbles(wl(t, name), ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	milc := one("M.milc")
+	gems := one("M.Gems")
+	km := one("H.KM")
+	if !(km < gems && gems < milc) {
+		t.Errorf("propagation ordering violated: H.KM=%v M.Gems=%v M.milc=%v", km, gems, milc)
+	}
+	if km > 1.15 {
+		t.Errorf("H.KM with one interfering node = %v, want near 1", km)
+	}
+	if milc < 1.4 {
+		t.Errorf("M.milc with one interfering node = %v, want a large jump", milc)
+	}
+}
+
+func TestSoloCaching(t *testing.T) {
+	e := newTestEnv(t)
+	w := wl(t, "M.zeus")
+	a, err := e.Solo(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Solo(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("solo cache should return identical values")
+	}
+	c, err := e.Solo(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different node counts should be cached separately")
+	}
+}
+
+func TestRunWithCoRunner(t *testing.T) {
+	e := newTestEnv(t)
+	lmps := wl(t, "M.lmps")
+	libq := wl(t, "C.libq")
+	solo, err := e.Solo(lmps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := e.RunWithCoRunner(lmps, libq, 8, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := e.RunWithCoRunner(lmps, libq, 8, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 <= solo {
+		t.Errorf("one libq node should slow lammps: %v vs solo %v", t1, solo)
+	}
+	if t8 < t1 {
+		t.Errorf("full interference %v should exceed single-node %v", t8, t1)
+	}
+	// The Figure 2 shape: the single-node jump is most of the total.
+	jump := (t1 - solo) / (t8 - solo)
+	if jump < 0.4 {
+		t.Errorf("lammps jump fraction = %v, want the high-propagation shape (>0.4)", jump)
+	}
+	if _, err := e.RunWithCoRunner(lmps, libq, 8, []int{9}); err == nil {
+		t.Error("out-of-range co-runner node should fail")
+	}
+	if _, err := e.RunWithCoRunner(lmps, libq, 0, nil); err == nil {
+		t.Error("zero nodes should fail")
+	}
+}
+
+func TestRunPair(t *testing.T) {
+	e := newTestEnv(t)
+	a := wl(t, "M.milc")
+	b := wl(t, "C.libq")
+	res, err := e.RunPair(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NormalizedA <= 1 {
+		t.Errorf("M.milc co-run with C.libq should slow down, normalized = %v", res.NormalizedA)
+	}
+	if res.NormalizedB < 1 {
+		t.Errorf("normalized below 1: %v", res.NormalizedB)
+	}
+	if res.TimeA <= 0 || res.TimeB <= 0 {
+		t.Error("non-positive times")
+	}
+	if _, err := e.RunPair(a, b, 0); err == nil {
+		t.Error("zero nodes should fail")
+	}
+}
+
+func TestRunPlacement(t *testing.T) {
+	e := newTestEnv(t)
+	reg := workloads.Registry()
+	p, err := cluster.PackedPlacement(8, 2, []cluster.Demand{
+		{App: "M.milc", Units: 4}, {App: "C.libq", Units: 4},
+		{App: "H.KM", Units: 4}, {App: "M.lmps", Units: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.RunPlacement(p, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("outcomes = %d apps, want 4", len(out))
+	}
+	for name, o := range out {
+		if o.Time <= 0 || o.Solo <= 0 {
+			t.Errorf("%s: non-positive times %+v", name, o)
+		}
+		if o.Normalized < 0.9 {
+			t.Errorf("%s: normalized %v suspiciously below 1", name, o.Normalized)
+		}
+		if o.Nodes != 4 {
+			t.Errorf("%s: nodes = %d, want 4 (one logical node per unit)", name, o.Nodes)
+		}
+	}
+}
+
+func TestRunPlacementSeparatedIsFaster(t *testing.T) {
+	e := newTestEnv(t)
+	reg := workloads.Registry()
+	// Packed: milc shares both hosts with libq (worst case).
+	shared, err := cluster.NewPlacement(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 4; h++ {
+		_ = shared.Set(h, 0, "M.milc")
+		_ = shared.Set(h, 1, "C.libq")
+	}
+	// Separated: each app alone on its hosts.
+	apart, err := cluster.PackedPlacement(8, 2, []cluster.Demand{
+		{App: "M.milc", Units: 4}, {App: "C.libq", Units: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outShared, err := e.RunPlacement(shared, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outApart, err := e.RunPlacement(apart, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outShared["M.milc"].Normalized <= outApart["M.milc"].Normalized {
+		t.Errorf("co-located milc (%v) should be slower than separated (%v)",
+			outShared["M.milc"].Normalized, outApart["M.milc"].Normalized)
+	}
+}
+
+func TestRunPlacementValidation(t *testing.T) {
+	e := newTestEnv(t)
+	reg := workloads.Registry()
+	if _, err := e.RunPlacement(nil, reg); err == nil {
+		t.Error("nil placement should fail")
+	}
+	empty, _ := cluster.NewPlacement(2, 2)
+	if _, err := e.RunPlacement(empty, reg); err == nil {
+		t.Error("empty placement should fail")
+	}
+	unknown, _ := cluster.NewPlacement(2, 2)
+	_ = unknown.Set(0, 0, "mystery")
+	if _, err := e.RunPlacement(unknown, reg); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestBackgroundInjection(t *testing.T) {
+	e := newTestEnv(t)
+	e.UnitCores = 4 // leave room for background occupants
+	calls := 0
+	e.Background = func(host int, r *sim.RNG) []contention.Occupant {
+		calls++
+		return []contention.Occupant{{
+			Name:  "bg",
+			Prof:  contention.MemProfile{CPICore: 1, APKI: 20, WSSMB: 64, MRMin: 0.8, MRMax: 0.8, Gamma: 1, MLP: 4},
+			Cores: 4,
+		}}
+	}
+	w := wl(t, "M.milc")
+	withBG, err := e.RunWithBubbles(w, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("background func never called")
+	}
+	quiet, err := NewEnv(cluster.Default(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet.Reps = 2
+	quiet.UnitCores = 4
+	noBG, err := quiet.RunWithBubbles(w, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBG <= noBG {
+		t.Errorf("background interference should slow the app: %v vs %v", withBG, noBG)
+	}
+}
+
+func TestDeterminismAcrossEnvs(t *testing.T) {
+	w := wl(t, "N.cg")
+	ps, _ := HomogeneousPressures(8, 2, 4)
+	run := func() float64 {
+		e, err := NewEnv(cluster.Default(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Reps = 2
+		v, err := e.NormalizedWithBubbles(w, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same-seed environments diverged: %v vs %v", a, b)
+	}
+}

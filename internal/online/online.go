@@ -1,0 +1,176 @@
+// Package online implements the extension the paper names as its future
+// work (Sections 1 and 8): turning the statically profiled interference
+// model into an *online* mechanism that keeps itself calibrated while
+// applications run in production.
+//
+// The static model (core.Model) is built once from dedicated profiling
+// runs and cannot follow behaviour drift — a new input dataset, an
+// application binary update, or a changed platform (the paper's stated
+// reasons to re-profile, Section 4.4 "Static Profiling"). The Estimator
+// wraps a static model and consumes production observations — pairs of
+// (per-node interference pressures, observed normalized execution time) —
+// feeding each residual back into the propagation-matrix cells that
+// produced the prediction, with bilinear credit assignment and an
+// exponentially weighted step. Prediction stays a pure matrix lookup, so
+// the estimator remains as cheap as the static model inside a placement
+// search; it just converges toward the environment it actually observes,
+// the way Bubble-Flux keeps Bubble-Up's profiles fresh.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bubble"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/stats"
+)
+
+// Estimator is an online-refined interference model. It implements
+// core.Predictor and can replace a static model anywhere, including inside
+// the placement search.
+type Estimator struct {
+	model *core.Model
+	// alpha is the EWMA learning rate applied to each observation's
+	// residual.
+	alpha float64
+	// matrix is the estimator's own copy of the propagation matrix; the
+	// wrapped model is never mutated.
+	matrix *profile.Matrix
+
+	observations int
+	// absErrEWMA tracks the recent prediction error (fraction), giving a
+	// cheap online health signal for re-profiling decisions.
+	absErrEWMA float64
+}
+
+// New wraps a static model. alpha in (0, 1] controls how fast
+// observations overwrite profiled cells; 0.1-0.3 is a sensible range
+// (higher adapts faster but is noisier).
+func New(model *core.Model, alpha float64) (*Estimator, error) {
+	if model == nil || model.Matrix == nil {
+		return nil, errors.New("online: nil model or matrix")
+	}
+	if !model.Matrix.Complete() {
+		return nil, errors.New("online: model matrix incomplete")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("online: alpha %v outside (0,1]", alpha)
+	}
+	return &Estimator{
+		model:  model,
+		alpha:  alpha,
+		matrix: model.Matrix.Clone(),
+	}, nil
+}
+
+// Model returns the wrapped static model (unmodified).
+func (e *Estimator) Model() *core.Model { return e.model }
+
+// Observations returns how many observations have been absorbed.
+func (e *Estimator) Observations() int { return e.observations }
+
+// RecentError returns the exponentially weighted recent absolute relative
+// prediction error (a fraction; 0 until the first observation).
+func (e *Estimator) RecentError() float64 { return e.absErrEWMA }
+
+// PredictPressures predicts from the online-refined matrix using the
+// model's heterogeneity policy.
+func (e *Estimator) PredictPressures(pressures []float64) (float64, error) {
+	return e.model.Policy.Predict(e.matrix, pressures)
+}
+
+// Observe feeds one production observation: the application ran under the
+// given per-node pressures and finished at actualNormalized times its solo
+// run. The residual is distributed over the (up to four) matrix cells the
+// prediction interpolated between, weighted by their bilinear credit.
+func (e *Estimator) Observe(pressures []float64, actualNormalized float64) error {
+	if actualNormalized <= 0 || math.IsNaN(actualNormalized) || math.IsInf(actualNormalized, 0) {
+		return fmt.Errorf("online: invalid observation %v", actualNormalized)
+	}
+	p, cnt, err := e.model.Policy.Convert(pressures)
+	if err != nil {
+		return err
+	}
+	predicted, err := e.matrix.At(p, cnt)
+	if err != nil {
+		return err
+	}
+	e.observations++
+	relErr := stats.RelErr(predicted, actualNormalized)
+	if e.observations == 1 {
+		e.absErrEWMA = relErr
+	} else {
+		e.absErrEWMA = (1-e.alpha)*e.absErrEWMA + e.alpha*relErr
+	}
+	if p <= 0 || cnt <= 0 {
+		// Interference-free observations carry no matrix information
+		// (column 0 is 1 by definition).
+		return nil
+	}
+
+	// Bilinear credit assignment over the surrounding integer cells.
+	p = stats.Clamp(p, 0, float64(e.matrix.Pressures))
+	cnt = stats.Clamp(cnt, 0, float64(e.matrix.Nodes))
+	residual := actualNormalized - predicted
+	pLo := int(math.Floor(p)) - 1 // row index of pressure floor(p)
+	pFrac := p - math.Floor(p)
+	cLo := int(math.Floor(cnt))
+	cFrac := cnt - math.Floor(cnt)
+	type cell struct {
+		i, j int
+		w    float64
+	}
+	cells := []cell{
+		{pLo, cLo, (1 - pFrac) * (1 - cFrac)},
+		{pLo, cLo + 1, (1 - pFrac) * cFrac},
+		{pLo + 1, cLo, pFrac * (1 - cFrac)},
+		{pLo + 1, cLo + 1, pFrac * cFrac},
+	}
+	for _, c := range cells {
+		if c.w == 0 {
+			continue
+		}
+		// Row -1 is the virtual all-ones pressure-0 row and column 0 is
+		// pinned at 1; both are definitional and never updated.
+		if c.i < 0 || c.i >= e.matrix.Pressures || c.j < 1 || c.j > e.matrix.Nodes {
+			continue
+		}
+		old := e.matrix.Cell(c.i, c.j)
+		next := old + e.alpha*c.w*residual
+		if next < 1 {
+			next = 1
+		}
+		if err := e.matrix.Set(c.i, c.j, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NeedsReprofile reports whether the recent prediction error exceeds the
+// threshold (a fraction, e.g. 0.15) after a warm-up of minObservations —
+// the signal a deployment would use to schedule fresh offline profiling
+// runs for this application.
+func (e *Estimator) NeedsReprofile(threshold float64, minObservations int) bool {
+	return e.observations >= minObservations && e.absErrEWMA > threshold
+}
+
+// Matrix returns a copy of the current online-refined matrix.
+func (e *Estimator) Matrix() *profile.Matrix { return e.matrix.Clone() }
+
+// Drift summarizes how far the online matrix has moved from the profiled
+// one: the mean absolute relative difference over all measurable cells.
+func (e *Estimator) Drift() (float64, error) {
+	return e.matrix.MeanAbsError(e.model.Matrix)
+}
+
+var _ core.Predictor = (*Estimator)(nil)
+
+// Pressure bounds re-exported for convenience of callers constructing
+// synthetic observations.
+const (
+	MaxPressure = bubble.MaxPressure
+)

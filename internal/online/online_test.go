@@ -1,0 +1,284 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/measure"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// syntheticModel builds a model over an analytic matrix so tests control
+// the ground truth exactly.
+func syntheticModel(t *testing.T, truth func(p, k float64) float64, policy hetero.Policy) *core.Model {
+	t.Helper()
+	res, err := profile.FullBrute(func(p float64, j int) (float64, error) {
+		return truth(p, float64(j)), nil
+	}, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Model{
+		Workload: "synthetic",
+		Matrix:   res.Matrix,
+		Policy:   policy,
+	}
+}
+
+func linearTruth(p, k float64) float64 {
+	if p <= 0 || k <= 0 {
+		return 1
+	}
+	return 1 + 0.05*p*k
+}
+
+func TestNewValidation(t *testing.T) {
+	m := syntheticModel(t, linearTruth, hetero.Interpolate)
+	if _, err := New(nil, 0.2); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := New(&core.Model{}, 0.2); err == nil {
+		t.Error("model without matrix should fail")
+	}
+	if _, err := New(m, 0); err == nil {
+		t.Error("alpha 0 should fail")
+	}
+	if _, err := New(m, 1.5); err == nil {
+		t.Error("alpha > 1 should fail")
+	}
+	incomplete, _ := profile.NewMatrix(8, 8)
+	if _, err := New(&core.Model{Matrix: incomplete}, 0.2); err == nil {
+		t.Error("incomplete matrix should fail")
+	}
+}
+
+func TestPredictMatchesStaticBeforeObservations(t *testing.T) {
+	m := syntheticModel(t, linearTruth, hetero.Interpolate)
+	e, err := New(m, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := []float64{4, 2, 0, 0, 0, 0, 0, 0}
+	a, err := e.PredictPressures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.PredictPressures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("fresh estimator %v should match static model %v", a, b)
+	}
+	if e.Observations() != 0 || e.RecentError() != 0 {
+		t.Error("fresh estimator should have no observation state")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m := syntheticModel(t, linearTruth, hetero.Interpolate)
+	e, _ := New(m, 0.2)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := e.Observe([]float64{1, 1}, bad); err == nil {
+			t.Errorf("observation %v should fail", bad)
+		}
+	}
+	if err := e.Observe([]float64{-1}, 1.1); err == nil {
+		t.Error("invalid pressures should fail")
+	}
+}
+
+func TestZeroInterferenceObservationIsNeutral(t *testing.T) {
+	m := syntheticModel(t, linearTruth, hetero.Interpolate)
+	e, _ := New(m, 0.5)
+	if err := e.Observe(make([]float64, 8), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	drift, err := e.Drift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift != 0 {
+		t.Errorf("zero-interference observation changed the matrix: drift %v", drift)
+	}
+}
+
+// TestConvergesToShiftedTruth is the core adaptation property: when the
+// environment's behaviour shifts (e.g. a new input dataset makes the app
+// 30% more sensitive), repeated observations pull predictions toward the
+// new truth while the static model stays wrong.
+func TestConvergesToShiftedTruth(t *testing.T) {
+	m := syntheticModel(t, linearTruth, hetero.Interpolate)
+	e, err := New(m, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := func(p, k float64) float64 {
+		return 1 + 1.3*(linearTruth(p, k)-1)
+	}
+	rng := sim.NewRNG(1)
+	var cfgs [][]float64
+	for i := 0; i < 400; i++ {
+		cfg := hetero.SampleConfig(rng.StreamN("cfg", i), 8, 8)
+		cfgs = append(cfgs, cfg)
+		p, k, err := hetero.Interpolate.Convert(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Observe(cfg, shifted(p, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var onlineErr, staticErr []float64
+	for _, cfg := range cfgs[:50] {
+		p, k, _ := hetero.Interpolate.Convert(cfg)
+		truthVal := shifted(p, k)
+		ov, err := e.PredictPressures(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := m.PredictPressures(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onlineErr = append(onlineErr, stats.RelErr(ov, truthVal))
+		staticErr = append(staticErr, stats.RelErr(sv, truthVal))
+	}
+	mo, ms := stats.Mean(onlineErr), stats.Mean(staticErr)
+	if mo >= ms/2 {
+		t.Errorf("online error %v should be far below static %v after adaptation", mo, ms)
+	}
+	drift, err := e.Drift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift <= 0 {
+		t.Error("adaptation should have moved the matrix")
+	}
+	// The wrapped static model must remain untouched.
+	static, err := m.PredictPressures([]float64{8, 8, 8, 8, 8, 8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linearTruth(8, 8)
+	if math.Abs(static-want) > 1e-9 {
+		t.Errorf("static model mutated: %v, want %v", static, want)
+	}
+}
+
+func TestNeedsReprofileSignal(t *testing.T) {
+	m := syntheticModel(t, linearTruth, hetero.Interpolate)
+	// A slow learning rate: the error signal must trip before the
+	// estimator has silently absorbed the shift.
+	e, _ := New(m, 0.05)
+	if e.NeedsReprofile(0.01, 1) {
+		t.Error("fresh estimator should not demand re-profiling")
+	}
+	// Feed observations wildly different from the profile.
+	cfg := []float64{8, 8, 8, 8, 8, 8, 8, 8}
+	for i := 0; i < 10; i++ {
+		if err := e.Observe(cfg, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.NeedsReprofile(0.15, 5) {
+		t.Errorf("persistent 10x mispredictions should trip the signal; recent err %v", e.RecentError())
+	}
+	// After long adaptation the signal should clear again.
+	for i := 0; i < 2000; i++ {
+		if err := e.Observe(cfg, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.NeedsReprofile(0.15, 5) {
+		t.Errorf("after converging the signal should clear; recent err %v", e.RecentError())
+	}
+}
+
+func TestMatrixNeverDropsBelowOne(t *testing.T) {
+	m := syntheticModel(t, linearTruth, hetero.Interpolate)
+	e, _ := New(m, 1.0)
+	// Absurd observations claiming speedups under interference.
+	for i := 0; i < 50; i++ {
+		if err := e.Observe([]float64{4, 4, 4, 4, 4, 4, 4, 4}, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mat := e.Matrix()
+	for i := 0; i < mat.Pressures; i++ {
+		for j := 0; j <= mat.Nodes; j++ {
+			if mat.Cell(i, j) < 1 {
+				t.Fatalf("cell (%d,%d) dropped below 1: %v", i, j, mat.Cell(i, j))
+			}
+		}
+	}
+}
+
+// TestOnlineAgainstSimulatedDrift exercises the estimator end-to-end on
+// the real substrate: profile a model, then let the workload's behaviour
+// change (heavier memory profile), and verify the online estimator tracks
+// the new behaviour better than the static model.
+func TestOnlineAgainstSimulatedDrift(t *testing.T) {
+	env, err := measure.NewEnv(cluster.Default(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reps = 2
+	w, err := workloads.ByName("M.zeus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultBuildConfig()
+	cfg.Samples = 10
+	model, err := core.BuildModel(env, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := New(model, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behaviour drift: the app becomes much more cache-hungry.
+	drifted := w
+	drifted.Prof.APKI *= 2.2
+	drifted.Prof.WSSMB *= 1.4
+
+	rng := sim.NewRNG(5)
+	var cfgs [][]float64
+	var actuals []float64
+	for i := 0; i < 60; i++ {
+		c := hetero.SampleConfig(rng.StreamN("drift", i), 8, MaxPressure)
+		actual, err := env.NormalizedWithBubbles(drifted, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, c)
+		actuals = append(actuals, actual)
+		if err := est.Observe(c, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var onlineErr, staticErr []float64
+	for i, c := range cfgs[40:] {
+		ov, err := est.PredictPressures(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := model.PredictPressures(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onlineErr = append(onlineErr, stats.RelErr(ov, actuals[40+i]))
+		staticErr = append(staticErr, stats.RelErr(sv, actuals[40+i]))
+	}
+	if stats.Mean(onlineErr) >= stats.Mean(staticErr) {
+		t.Errorf("online (%v) should beat static (%v) after drift",
+			stats.Mean(onlineErr), stats.Mean(staticErr))
+	}
+}

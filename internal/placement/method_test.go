@@ -1,0 +1,99 @@
+package placement
+
+import (
+	"testing"
+)
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		Anneal: "simulated-annealing", HillClimb: "hill-climbing",
+		Method(5): "Method(5)",
+	} {
+		if m.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+// Hill climbing must also find a good placement on this easy landscape,
+// and both methods must agree on the optimum's quality.
+func TestHillClimbFindsGoodPlacement(t *testing.T) {
+	req := testRequest()
+	hcCfg := DefaultConfig(7)
+	hcCfg.Iterations = 1500
+	hcCfg.Method = HillClimb
+	hc, err := Search(req, hcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saCfg := DefaultConfig(7)
+	saCfg.Iterations = 1500
+	sa, err := Search(req, saCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Predicted["sens"] > 1.7 {
+		t.Errorf("hill climbing left sens exposed: %v", hc.Predicted["sens"])
+	}
+	// Neither method should be dramatically better on this instance.
+	if hc.Objective > sa.Objective*1.1 {
+		t.Errorf("hill climbing objective %v much worse than annealing %v", hc.Objective, sa.Objective)
+	}
+	if err := hc.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hill climbing never accepts a worsening move, so its current objective
+// is monotone; we can only observe the end state, but the best result must
+// be at least as good as the initial random placement.
+func TestHillClimbNotWorseThanRandom(t *testing.T) {
+	req := testRequest()
+	cfg := DefaultConfig(21)
+	cfg.Iterations = 400
+	cfg.Method = HillClimb
+	cfg.Restarts = 1
+	res, err := Search(req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomOutcome(req, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, r := range rnd {
+		mean += r.Objective
+	}
+	mean /= float64(len(rnd))
+	if res.Objective > mean {
+		t.Errorf("hill climbing (%v) should beat the random mean (%v)", res.Objective, mean)
+	}
+}
+
+// Multi-way placements: with a relaxed apps-per-host limit the search may
+// co-locate three applications, and the request must thread the limit
+// through to validity checking.
+func TestSearchWithRelaxedLimit(t *testing.T) {
+	req := testRequest()
+	req.SlotsPerHost = 4
+	req.NumHosts = 4
+	req.AppsPerHostLimit = 3
+	cfg := DefaultConfig(9)
+	cfg.Iterations = 600
+	res, err := Search(req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(); err != nil {
+		t.Fatalf("result violates relaxed limit: %v", err)
+	}
+	if res.Placement.AppsPerHostLimit() != 3 {
+		t.Errorf("limit = %d, want 3", res.Placement.AppsPerHostLimit())
+	}
+	bad := testRequest()
+	bad.AppsPerHostLimit = -1
+	if _, err := Search(bad, cfg); err == nil {
+		t.Error("negative limit should fail validation")
+	}
+}

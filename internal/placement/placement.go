@@ -1,0 +1,328 @@
+// Package placement implements the paper's two interference-aware
+// placement case studies (Section 5): a simulated-annealing search over
+// unit-to-host assignments whose objective is evaluated with the
+// interference model — either to maximize overall throughput (Section 5.3)
+// or to satisfy a QoS constraint on a mission-critical application while
+// improving everyone else (Section 5.2).
+//
+// The search state is a cluster.Placement of application units; a move
+// swaps the contents of two slots (including moves into empty slots), the
+// paper's "swap two VMs running different workloads". Placements violating
+// the pairwise co-location rule are rejected outright.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Request describes a placement problem: which applications need how many
+// units on which cluster, and the models driving the prediction.
+type Request struct {
+	NumHosts     int
+	SlotsPerHost int
+	// AppsPerHostLimit bounds distinct applications per host; 0 means
+	// the paper's pairwise rule. Raising it engages the Section 4.4
+	// score-combination extension in the model's pressure derivation.
+	AppsPerHostLimit int
+	Demands          []cluster.Demand
+	Predictors       map[string]core.Predictor
+	Scores           map[string]float64 // bubble score per application
+}
+
+func (r Request) validate() error {
+	if r.NumHosts <= 0 || r.SlotsPerHost <= 0 {
+		return errors.New("placement: non-positive cluster dimensions")
+	}
+	if r.AppsPerHostLimit < 0 {
+		return errors.New("placement: negative apps-per-host limit")
+	}
+	if len(r.Demands) == 0 {
+		return errors.New("placement: no demands")
+	}
+	seen := map[string]bool{}
+	for _, d := range r.Demands {
+		if d.App == "" || d.Units <= 0 {
+			return fmt.Errorf("placement: bad demand %+v", d)
+		}
+		if seen[d.App] {
+			return fmt.Errorf("placement: duplicate demand for %q", d.App)
+		}
+		seen[d.App] = true
+		if _, ok := r.Predictors[d.App]; !ok {
+			return fmt.Errorf("placement: no predictor for %q", d.App)
+		}
+		if _, ok := r.Scores[d.App]; !ok {
+			return fmt.Errorf("placement: no bubble score for %q", d.App)
+		}
+	}
+	return nil
+}
+
+// QoS constrains one application's predicted normalized execution time.
+// MaxNormalized = 1.25 corresponds to the paper's "80% of the solo-run
+// performance" guarantee.
+type QoS struct {
+	App           string
+	MaxNormalized float64
+}
+
+// Goal selects the search direction.
+type Goal int
+
+// Search goals: Best minimizes the weighted normalized runtime (maximizes
+// throughput); Worst maximizes it, giving the paper's comparison bound.
+const (
+	Best Goal = iota
+	Worst
+)
+
+// Method selects the local-search strategy.
+type Method int
+
+// Search methods: simulated annealing (the paper's choice) and stochastic
+// hill climbing (the Whare-Map technique the paper cites as an equally
+// valid consumer of the model).
+const (
+	Anneal Method = iota
+	HillClimb
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Anneal:
+		return "simulated-annealing"
+	case HillClimb:
+		return "hill-climbing"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config tunes the placement search.
+type Config struct {
+	Iterations int     // search steps (default 4000)
+	InitTemp   float64 // initial temperature (default 0.5; annealing only)
+	CoolRate   float64 // geometric cooling per step (default set for Iterations)
+	Seed       int64
+	Goal       Goal
+	Method     Method
+	QoS        *QoS // optional QoS constraint (only meaningful with Best)
+	Restarts   int  // independent restarts (default 3)
+}
+
+// DefaultConfig returns the tuning used by the experiments.
+func DefaultConfig(seed int64) Config {
+	return Config{Iterations: 4000, InitTemp: 0.5, Seed: seed, Restarts: 3}
+}
+
+// Result is the outcome of a placement search.
+type Result struct {
+	Placement    *cluster.Placement
+	Predicted    map[string]float64 // model-predicted normalized time per app
+	Objective    float64            // weighted normalized runtime of Placement
+	QoSSatisfied bool               // constraint holds under the model
+	Evaluations  int                // model evaluations performed
+}
+
+// qosPenaltyWeight makes any constraint violation dominate the weighted
+// runtime objective, so the search always prefers feasibility first —
+// the paper's "meets the delay constraint first" acceptance rule.
+const qosPenaltyWeight = 1000
+
+// Objective returns the unit-weighted sum of normalized runtimes — the
+// paper's throughput metric (lower is better; each app weighted by the
+// number of VMs/units it uses).
+func Objective(p *cluster.Placement, predicted map[string]float64) (float64, error) {
+	apps := p.Apps()
+	if len(apps) == 0 {
+		return 0, errors.New("placement: empty placement")
+	}
+	var total, weight float64
+	for _, a := range apps {
+		v, ok := predicted[a]
+		if !ok {
+			return 0, fmt.Errorf("placement: no prediction for %q", a)
+		}
+		w := float64(p.UnitsOf(a))
+		total += v * w
+		weight += w
+	}
+	return total / weight, nil
+}
+
+// evaluate scores a placement: objective plus QoS penalty.
+func evaluate(p *cluster.Placement, req Request, qos *QoS) (obj, energy float64, predicted map[string]float64, err error) {
+	predicted, err = core.PredictPlacement(p, req.Predictors, req.Scores)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	obj, err = Objective(p, predicted)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	energy = obj
+	if qos != nil {
+		if v, ok := predicted[qos.App]; ok {
+			if excess := v - qos.MaxNormalized; excess > 0 {
+				energy += qosPenaltyWeight * excess
+			}
+		}
+	}
+	return obj, energy, predicted, nil
+}
+
+// Search runs the annealing placement search and returns the best
+// placement found across restarts.
+func Search(req Request, cfg Config) (Result, error) {
+	if err := req.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 4000
+	}
+	if cfg.InitTemp <= 0 {
+		cfg.InitTemp = 0.5
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 3
+	}
+	if cfg.CoolRate <= 0 || cfg.CoolRate >= 1 {
+		// Reach ~1e-3 of the initial temperature by the final step.
+		cfg.CoolRate = math.Pow(1e-3, 1/float64(cfg.Iterations))
+	}
+	if cfg.QoS != nil {
+		if cfg.QoS.MaxNormalized < 1 {
+			return Result{}, fmt.Errorf("placement: QoS bound %v below 1 is unsatisfiable", cfg.QoS.MaxNormalized)
+		}
+		found := false
+		for _, d := range req.Demands {
+			if d.App == cfg.QoS.App {
+				found = true
+			}
+		}
+		if !found {
+			return Result{}, fmt.Errorf("placement: QoS app %q not among demands", cfg.QoS.App)
+		}
+	}
+
+	sign := 1.0
+	if cfg.Goal == Worst {
+		sign = -1
+	}
+
+	rng := sim.NewRNG(cfg.Seed).Stream("placement")
+	var best Result
+	haveBest := false
+	evals := 0
+
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		r := rng.StreamN("restart", restart)
+		cur, err := cluster.RandomValidLimit(r.Stream("init"), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		curObj, curEnergy, curPred, err := evaluate(cur, req, cfg.QoS)
+		if err != nil {
+			return Result{}, err
+		}
+		evals++
+		consider := func(p *cluster.Placement, obj float64, pred map[string]float64) {
+			qosOK := cfg.QoS == nil || pred[cfg.QoS.App] <= cfg.QoS.MaxNormalized
+			better := false
+			switch {
+			case !haveBest:
+				better = true
+			case cfg.QoS != nil && qosOK && !best.QoSSatisfied:
+				better = true // feasibility first
+			case cfg.QoS != nil && !qosOK && best.QoSSatisfied:
+				better = false
+			default:
+				better = sign*obj < sign*best.Objective
+			}
+			if better {
+				pc := map[string]float64{}
+				for k, v := range pred {
+					pc[k] = v
+				}
+				best = Result{
+					Placement:    p.Clone(),
+					Predicted:    pc,
+					Objective:    obj,
+					QoSSatisfied: qosOK,
+				}
+				haveBest = true
+			}
+		}
+		consider(cur, curObj, curPred)
+
+		temp := cfg.InitTemp
+		slots := req.NumHosts * req.SlotsPerHost
+		for it := 0; it < cfg.Iterations; it++ {
+			temp *= cfg.CoolRate
+			// Propose: swap two slots holding different contents.
+			a := r.Intn(slots)
+			b := r.Intn(slots)
+			ha, sa := a/req.SlotsPerHost, a%req.SlotsPerHost
+			hb, sb := b/req.SlotsPerHost, b%req.SlotsPerHost
+			if cur.At(ha, sa) == cur.At(hb, sb) {
+				continue
+			}
+			cand := cur.Clone()
+			if err := cand.Swap(ha, sa, hb, sb); err != nil {
+				return Result{}, err
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			candObj, candEnergy, candPred, err := evaluate(cand, req, cfg.QoS)
+			if err != nil {
+				return Result{}, err
+			}
+			evals++
+			delta := sign * (candEnergy - curEnergy)
+			accept := delta <= 0
+			if !accept && cfg.Method == Anneal {
+				accept = r.Float64() < math.Exp(-delta/math.Max(temp, 1e-9))
+			}
+			if accept {
+				cur, curObj, curEnergy, curPred = cand, candObj, candEnergy, candPred
+				consider(cur, curObj, curPred)
+			}
+		}
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// RandomOutcome evaluates n random valid placements with the model and
+// returns their placements and objectives (the paper's Random baseline
+// averages five of these).
+func RandomOutcome(req Request, n int, seed int64) ([]Result, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("placement: non-positive sample count")
+	}
+	rng := sim.NewRNG(seed).Stream("random-placements")
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := cluster.RandomValidLimit(rng.StreamN("p", i), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
+		if err != nil {
+			return nil, err
+		}
+		obj, _, pred, err := evaluate(p, req, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Result{Placement: p, Predicted: pred, Objective: obj, QoSSatisfied: true})
+	}
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Measurer performs one profiling run: the normalized execution time of the
+// application with `interfering` nodes carrying a bubble at `pressure`.
+// It is the expensive operation every algorithm here tries to minimize.
+type Measurer func(pressure float64, interfering int) (float64, error)
+
+// Result is the outcome of a profiling algorithm.
+type Result struct {
+	Matrix   *Matrix
+	Measured int // profiling runs performed
+	Total    int // measurable settings: pressures * nodes (column 0 is free)
+}
+
+// CostPct returns the percentage of settings actually measured (the
+// paper's profiling-cost metric of Table 3).
+func (r Result) CostPct() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Measured) / float64(r.Total)
+}
+
+// counter wraps a Measurer and counts distinct (pressure,nodes) calls;
+// repeated calls for the same setting are served from cache (a real
+// deployment would reuse the measurement too).
+type counter struct {
+	m     Measurer
+	cache map[[2]int]float64
+	calls int
+}
+
+func newCounter(m Measurer) *counter {
+	return &counter{m: m, cache: map[[2]int]float64{}}
+}
+
+func (c *counter) measure(pressureRow, nodes int) (float64, error) {
+	key := [2]int{pressureRow, nodes}
+	if v, ok := c.cache[key]; ok {
+		return v, nil
+	}
+	v, err := c.m(float64(pressureRow+1), nodes)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("profile: measurer returned invalid time %v", v)
+	}
+	c.cache[key] = v
+	c.calls++
+	return v, nil
+}
+
+// defaultEps is the indistinguishability threshold of the binary search:
+// if two settings differ by less than this (normalized time), the settings
+// between them are interpolated instead of measured.
+const defaultEps = 0.06
+
+// FullBrute measures every setting; it is the ground truth the paper's
+// accuracy percentages are computed against.
+func FullBrute(m Measurer, pressures, nodes int) (Result, error) {
+	mat, err := NewMatrix(pressures, nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	c := newCounter(m)
+	for i := 0; i < pressures; i++ {
+		for j := 1; j <= nodes; j++ {
+			v, err := c.measure(i, j)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := mat.Set(i, j, v); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+}
+
+// binaryRow recursively fills row i between columns lo and hi: when the
+// endpoint values are close (<= eps), the interior is left for
+// interpolation; otherwise the midpoint is measured and both halves
+// recurse (the paper's profile_binary_row).
+func binaryRow(c *counter, mat *Matrix, i, lo, hi int, eps float64) error {
+	if hi-lo <= 1 {
+		return nil
+	}
+	if math.Abs(mat.Cell(i, hi)-mat.Cell(i, lo)) <= eps {
+		return nil
+	}
+	mid := (lo + hi) / 2
+	v, err := c.measure(i, mid)
+	if err != nil {
+		return err
+	}
+	if err := mat.Set(i, mid, v); err != nil {
+		return err
+	}
+	if err := binaryRow(c, mat, i, lo, mid, eps); err != nil {
+		return err
+	}
+	return binaryRow(c, mat, i, mid, hi, eps)
+}
+
+// binaryCol is binaryRow transposed: it fills column j between pressure
+// rows lo and hi (the paper's profile_binary_col).
+func binaryCol(c *counter, mat *Matrix, j, lo, hi int, eps float64) error {
+	if hi-lo <= 1 {
+		return nil
+	}
+	if math.Abs(mat.Cell(hi, j)-mat.Cell(lo, j)) <= eps {
+		return nil
+	}
+	mid := (lo + hi) / 2
+	v, err := c.measure(mid, j)
+	if err != nil {
+		return err
+	}
+	if err := mat.Set(mid, j, v); err != nil {
+		return err
+	}
+	if err := binaryCol(c, mat, j, lo, mid, eps); err != nil {
+		return err
+	}
+	return binaryCol(c, mat, j, mid, hi, eps)
+}
+
+// interpolateRow linearly fills the unmeasured cells of row i.
+func interpolateRow(mat *Matrix, i int) error {
+	row := mat.cells[i]
+	_, err := stats.FillLinear(row)
+	return err
+}
+
+// interpolateCol linearly fills the unmeasured cells of column j.
+func interpolateCol(mat *Matrix, j int) error {
+	col := make([]float64, mat.Pressures)
+	for i := range col {
+		col[i] = mat.cells[i][j]
+	}
+	if _, err := stats.FillLinear(col); err != nil {
+		return err
+	}
+	for i := range col {
+		mat.cells[i][j] = col[i]
+	}
+	return nil
+}
+
+// BinaryBrute is the paper's Algorithm 1: for every pressure level, anchor
+// the row ends and refine by binary search, interpolating whatever the
+// search deems flat.
+func BinaryBrute(m Measurer, pressures, nodes int, eps float64) (Result, error) {
+	if eps <= 0 {
+		eps = defaultEps
+	}
+	mat, err := NewMatrix(pressures, nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	c := newCounter(m)
+	for i := 0; i < pressures; i++ {
+		v, err := c.measure(i, nodes)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := mat.Set(i, nodes, v); err != nil {
+			return Result{}, err
+		}
+		if err := binaryRow(c, mat, i, 0, nodes, eps); err != nil {
+			return Result{}, err
+		}
+		if err := interpolateRow(mat, i); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+}
+
+// BinaryOptimized is the paper's Algorithm 2: profile only the top-pressure
+// row by binary search plus the max-nodes column, then infer every other
+// cell with the proportional product formula
+//
+//	T[i][j] = 1 + (T[i][m]-1) * (T[n-1][j]-1) / (T[n-1][m]-1)
+//
+// exploiting that curve *shapes* barely change across pressure levels.
+func BinaryOptimized(m Measurer, pressures, nodes int, eps float64) (Result, error) {
+	if eps <= 0 {
+		eps = defaultEps
+	}
+	mat, err := NewMatrix(pressures, nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	c := newCounter(m)
+	n := pressures
+	// Anchor the two corners of the last column.
+	for _, i := range []int{0, n - 1} {
+		v, err := c.measure(i, nodes)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := mat.Set(i, nodes, v); err != nil {
+			return Result{}, err
+		}
+	}
+	// Top-pressure row by binary search.
+	if err := binaryRow(c, mat, n-1, 0, nodes, eps); err != nil {
+		return Result{}, err
+	}
+	if err := interpolateRow(mat, n-1); err != nil {
+		return Result{}, err
+	}
+	// Max-nodes column by binary search over pressures.
+	if err := binaryCol(c, mat, nodes, 0, n-1, eps); err != nil {
+		return Result{}, err
+	}
+	if err := interpolateCol(mat, nodes); err != nil {
+		return Result{}, err
+	}
+	// Infer the interior by the product formula (interpolate_all).
+	denom := mat.Cell(n-1, nodes) - 1
+	for i := 0; i < n-1; i++ {
+		for j := 1; j < nodes; j++ {
+			if !math.IsNaN(mat.Cell(i, j)) {
+				continue
+			}
+			var v float64
+			if denom <= 0 {
+				// Interference has no effect at the strongest setting;
+				// the whole matrix is flat.
+				v = 1
+			} else {
+				v = 1 + (mat.Cell(i, nodes)-1)*(mat.Cell(n-1, j)-1)/denom
+			}
+			if v < 1 {
+				v = 1
+			}
+			if err := mat.Set(i, j, v); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+}
+
+// RandomFrac is the paper's random-k% baseline: measure a random fraction
+// of all settings — always including, per pressure level, the max-nodes
+// anchor — and interpolate the rest row-wise.
+func RandomFrac(m Measurer, pressures, nodes int, frac float64, rng *sim.RNG) (Result, error) {
+	if frac <= 0 || frac > 1 {
+		return Result{}, errors.New("profile: fraction outside (0,1]")
+	}
+	if rng == nil {
+		return Result{}, errors.New("profile: nil RNG")
+	}
+	mat, err := NewMatrix(pressures, nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	c := newCounter(m)
+	// Mandatory anchors: full-interference per pressure level.
+	for i := 0; i < pressures; i++ {
+		v, err := c.measure(i, nodes)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := mat.Set(i, nodes, v); err != nil {
+			return Result{}, err
+		}
+	}
+	// Random sample of the remaining settings up to the budget.
+	budget := int(math.Round(frac * float64(pressures*nodes)))
+	if budget < pressures {
+		budget = pressures // anchors already exceed tiny budgets
+	}
+	type cell struct{ i, j int }
+	var rest []cell
+	for i := 0; i < pressures; i++ {
+		for j := 1; j < nodes; j++ {
+			rest = append(rest, cell{i, j})
+		}
+	}
+	rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+	for _, cl := range rest {
+		if c.calls >= budget {
+			break
+		}
+		v, err := c.measure(cl.i, cl.j)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := mat.Set(cl.i, cl.j, v); err != nil {
+			return Result{}, err
+		}
+	}
+	for i := 0; i < pressures; i++ {
+		if err := interpolateRow(mat, i); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+}

@@ -1,0 +1,142 @@
+// Package profile implements the interference-propagation profiling of
+// Section 4: the matrix T of normalized execution times indexed by bubble
+// pressure and number of interfering nodes, the cost-reducing profiling
+// algorithms binary-brute (Algorithm 1) and binary-optimized (Algorithm 2),
+// and the random-sampling baselines the paper compares against (Table 3).
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Matrix is the propagation matrix: At(i, j) is the execution time of the
+// application, normalized to its uninterfered run, when j of its nodes
+// carry a co-located bubble at pressure i+1. Column 0 is by definition 1.
+type Matrix struct {
+	Pressures int // number of bubble levels (rows), pressure i+1 per row i
+	Nodes     int // number of hosts m (columns 0..m)
+	cells     [][]float64
+}
+
+// NewMatrix returns a matrix with every measurable cell unset (NaN) and
+// column 0 fixed at 1.
+func NewMatrix(pressures, nodes int) (*Matrix, error) {
+	if pressures <= 0 || nodes <= 0 {
+		return nil, errors.New("profile: non-positive matrix dimensions")
+	}
+	cells := make([][]float64, pressures)
+	for i := range cells {
+		cells[i] = make([]float64, nodes+1)
+		for j := range cells[i] {
+			cells[i][j] = math.NaN()
+		}
+		cells[i][0] = 1
+	}
+	return &Matrix{Pressures: pressures, Nodes: nodes, cells: cells}, nil
+}
+
+// Set stores a normalized time for (pressure row i, interfering nodes j).
+func (m *Matrix) Set(i, j int, v float64) error {
+	if i < 0 || i >= m.Pressures || j < 0 || j > m.Nodes {
+		return fmt.Errorf("profile: cell (%d,%d) out of range", i, j)
+	}
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("profile: invalid normalized time %v", v)
+	}
+	m.cells[i][j] = v
+	return nil
+}
+
+// Cell returns the stored value for (i, j); NaN when unset.
+func (m *Matrix) Cell(i, j int) float64 { return m.cells[i][j] }
+
+// Complete reports whether every cell has been filled.
+func (m *Matrix) Complete() bool {
+	for i := range m.cells {
+		for _, v := range m.cells[i] {
+			if math.IsNaN(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 { return append([]float64(nil), m.cells[i]...) }
+
+// At evaluates the completed matrix at a possibly fractional pressure and
+// node count using bilinear interpolation. Pressure 0 means no
+// interference (1.0); pressures interpolate between a virtual all-ones row
+// at 0 and row 0 at pressure 1. Values outside the calibrated range clamp.
+func (m *Matrix) At(pressure, nodes float64) (float64, error) {
+	if !m.Complete() {
+		return 0, errors.New("profile: matrix incomplete")
+	}
+	if pressure <= 0 || nodes <= 0 {
+		return 1, nil
+	}
+	nodes = stats.Clamp(nodes, 0, float64(m.Nodes))
+	pressure = stats.Clamp(pressure, 0, float64(m.Pressures))
+
+	// rowAt evaluates a (virtual) pressure row at the fractional node
+	// count.
+	rowAt := func(i int) float64 {
+		if i < 0 {
+			return 1 // virtual pressure-0 row
+		}
+		row := m.cells[i]
+		j := int(math.Floor(nodes))
+		if j >= m.Nodes {
+			return row[m.Nodes]
+		}
+		frac := nodes - float64(j)
+		return stats.Lerp(row[j], row[j+1], frac)
+	}
+	// Pressure p sits between rows floor(p)-1 and ceil(p)-1 (row i holds
+	// pressure i+1), with the virtual all-ones row at p=0.
+	pLow := math.Floor(pressure)
+	frac := pressure - pLow
+	lowIdx := int(pLow) - 1
+	if frac == 0 {
+		return rowAt(lowIdx), nil
+	}
+	hiIdx := lowIdx + 1
+	if hiIdx >= m.Pressures {
+		return rowAt(m.Pressures - 1), nil
+	}
+	return stats.Lerp(rowAt(lowIdx), rowAt(hiIdx), frac), nil
+}
+
+// MeanAbsError returns the mean relative error of this matrix against a
+// reference over all measurable cells (j >= 1).
+func (m *Matrix) MeanAbsError(ref *Matrix) (float64, error) {
+	if ref.Pressures != m.Pressures || ref.Nodes != m.Nodes {
+		return 0, errors.New("profile: matrix shape mismatch")
+	}
+	if !m.Complete() || !ref.Complete() {
+		return 0, errors.New("profile: matrices must be complete")
+	}
+	var sum float64
+	var n int
+	for i := 0; i < m.Pressures; i++ {
+		for j := 1; j <= m.Nodes; j++ {
+			sum += stats.RelErr(m.cells[i][j], ref.cells[i][j])
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c, _ := NewMatrix(m.Pressures, m.Nodes)
+	for i := range m.cells {
+		copy(c.cells[i], m.cells[i])
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// StreamSpec describes a synthetic job arrival stream for scheduler
+// studies: Poisson arrivals over a workload mix with bounded uniform work
+// sizes.
+type StreamSpec struct {
+	// Mix holds the candidate workloads with selection weights.
+	Mix []MixEntry
+	// MeanInterarrival is the Poisson mean gap between arrivals, seconds.
+	MeanInterarrival float64
+	// Jobs is how many arrivals to generate.
+	Jobs int
+	// Units per job.
+	Units int
+	// WorkMin/WorkMax bound the per-job solo work, seconds.
+	WorkMin, WorkMax float64
+	// QoSFraction of jobs carry a QoS bound of QoSBound.
+	QoSFraction float64
+	QoSBound    float64
+}
+
+// MixEntry weights one workload in the stream.
+type MixEntry struct {
+	Workload workloads.Workload
+	Weight   float64
+}
+
+// Validate reports whether the spec can generate a stream.
+func (s StreamSpec) Validate() error {
+	if len(s.Mix) == 0 {
+		return errors.New("schedule: empty mix")
+	}
+	var total float64
+	for i, m := range s.Mix {
+		if m.Weight < 0 {
+			return fmt.Errorf("schedule: negative weight at mix entry %d", i)
+		}
+		total += m.Weight
+	}
+	if total <= 0 {
+		return errors.New("schedule: zero total mix weight")
+	}
+	if s.MeanInterarrival <= 0 {
+		return errors.New("schedule: non-positive interarrival")
+	}
+	if s.Jobs <= 0 {
+		return errors.New("schedule: non-positive job count")
+	}
+	if s.Units <= 0 {
+		return errors.New("schedule: non-positive units")
+	}
+	if s.WorkMin <= 0 || s.WorkMax < s.WorkMin {
+		return errors.New("schedule: invalid work bounds")
+	}
+	if s.QoSFraction < 0 || s.QoSFraction > 1 {
+		return errors.New("schedule: QoS fraction outside [0,1]")
+	}
+	if s.QoSFraction > 0 && s.QoSBound < 1 {
+		return errors.New("schedule: QoS bound below 1")
+	}
+	return nil
+}
+
+// Generate draws a job stream from the spec. Identical (spec, seed) pairs
+// produce identical streams.
+func Generate(spec StreamSpec, seed int64) ([]Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(seed).Stream("jobstream")
+	var totalW float64
+	for _, m := range spec.Mix {
+		totalW += m.Weight
+	}
+	pick := func(r *sim.RNG) workloads.Workload {
+		x := r.Uniform(0, totalW)
+		for _, m := range spec.Mix {
+			if x < m.Weight {
+				return m.Workload
+			}
+			x -= m.Weight
+		}
+		return spec.Mix[len(spec.Mix)-1].Workload
+	}
+	jobs := make([]Job, 0, spec.Jobs)
+	now := 0.0
+	for i := 0; i < spec.Jobs; i++ {
+		r := rng.StreamN("job", i)
+		now += r.Exp(spec.MeanInterarrival)
+		j := Job{
+			ID:       i + 1,
+			Workload: pick(r),
+			Units:    spec.Units,
+			Work:     r.Uniform(spec.WorkMin, spec.WorkMax),
+			Arrival:  now,
+		}
+		if spec.QoSFraction > 0 && r.Bool(spec.QoSFraction) {
+			j.QoSBound = spec.QoSBound
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,131 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func testSpec(t *testing.T) StreamSpec {
+	t.Helper()
+	milc, err := workloads.ByName("M.milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	libq, err := workloads.ByName("C.libq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return StreamSpec{
+		Mix: []MixEntry{
+			{Workload: milc, Weight: 1},
+			{Workload: libq, Weight: 3},
+		},
+		MeanInterarrival: 10,
+		Jobs:             40,
+		Units:            4,
+		WorkMin:          20, WorkMax: 60,
+		QoSFraction: 0.25, QoSBound: 1.25,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	jobs, err := Generate(testSpec(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 40 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	prev := -1.0
+	qos, libqCount := 0, 0
+	for _, j := range jobs {
+		if err := j.validate(); err != nil {
+			t.Fatalf("generated invalid job: %v", err)
+		}
+		if j.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = j.Arrival
+		if j.Work < 20 || j.Work > 60 {
+			t.Fatalf("work %v outside bounds", j.Work)
+		}
+		if j.QoSBound > 0 {
+			qos++
+		}
+		if j.Workload.Name == "C.libq" {
+			libqCount++
+		}
+	}
+	if qos == 0 || qos == len(jobs) {
+		t.Errorf("QoS fraction should be partial, got %d/%d", qos, len(jobs))
+	}
+	// With weight 3:1 the majority should be libq.
+	if libqCount < len(jobs)/2 {
+		t.Errorf("mix weights ignored: %d/%d libq", libqCount, len(jobs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testSpec(t), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testSpec(t), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Work != b[i].Work || a[i].Workload.Name != b[i].Workload.Name {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c, err := Generate(testSpec(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Arrival == c[0].Arrival && a[0].Work == c[0].Work {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	mutations := []func(*StreamSpec){
+		func(s *StreamSpec) { s.Mix = nil },
+		func(s *StreamSpec) { s.Mix[0].Weight = -1 },
+		func(s *StreamSpec) { s.Mix[0].Weight = 0; s.Mix[1].Weight = 0 },
+		func(s *StreamSpec) { s.MeanInterarrival = 0 },
+		func(s *StreamSpec) { s.Jobs = 0 },
+		func(s *StreamSpec) { s.Units = 0 },
+		func(s *StreamSpec) { s.WorkMin = 0 },
+		func(s *StreamSpec) { s.WorkMax = s.WorkMin - 1 },
+		func(s *StreamSpec) { s.QoSFraction = 2 },
+		func(s *StreamSpec) { s.QoSBound = 0.5 },
+	}
+	for i, mut := range mutations {
+		spec := testSpec(t)
+		mut(&spec)
+		if _, err := Generate(spec, 1); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+// End-to-end: a generated stream runs through the scheduler.
+func TestGeneratedStreamSchedules(t *testing.T) {
+	spec := testSpec(t)
+	spec.Jobs = 8
+	spec.MeanInterarrival = 25
+	jobs, err := Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(t)
+	res, err := Run(env, testConfig(t, ModelDriven), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 8 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+}

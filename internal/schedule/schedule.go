@@ -1,0 +1,490 @@
+// Package schedule builds the paper's placement machinery into an online
+// cluster manager: distributed jobs arrive over time, each needing a
+// number of units on the consolidated cluster, and a placement policy
+// decides where they land. The model-driven policy uses the per-workload
+// interference models to minimize predicted cluster-wide slowdown (and to
+// respect per-job QoS bounds); the baselines place randomly or pack
+// greedily, the behaviours of interference-oblivious cluster managers.
+//
+// Execution is epoch-based on the ground-truth simulator: between
+// scheduling events every running job progresses at the reciprocal of its
+// current simulated normalized execution time, which changes whenever jobs
+// arrive or depart — exactly the consolidated-cluster dynamics the paper's
+// throughput case study freezes into a single snapshot (Section 5.3).
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Job is one deployment request.
+type Job struct {
+	ID       int
+	Workload workloads.Workload
+	Units    int     // units (logical nodes) requested
+	Work     float64 // solo-execution seconds of work
+	Arrival  float64 // arrival time in seconds
+	// QoSBound, when positive, caps the job's acceptable normalized
+	// execution time (1.25 = the paper's 80%-of-solo guarantee).
+	QoSBound float64
+}
+
+func (j Job) validate() error {
+	if j.Units <= 0 {
+		return fmt.Errorf("schedule: job %d requests %d units", j.ID, j.Units)
+	}
+	if j.Work <= 0 {
+		return fmt.Errorf("schedule: job %d has non-positive work", j.ID)
+	}
+	if j.Arrival < 0 {
+		return fmt.Errorf("schedule: job %d has negative arrival", j.ID)
+	}
+	if j.QoSBound < 0 {
+		return fmt.Errorf("schedule: job %d has negative QoS bound", j.ID)
+	}
+	return nil
+}
+
+// Policy selects where arriving jobs are placed.
+type Policy int
+
+// Placement policies.
+const (
+	// ModelDriven greedily minimizes the model-predicted cluster-wide
+	// weighted slowdown, skipping placements that would violate any
+	// job's QoS bound.
+	ModelDriven Policy = iota
+	// RandomFit picks uniformly among valid slot sets.
+	RandomFit
+	// PackFirst fills hosts in index order (interference-oblivious
+	// bin packing).
+	PackFirst
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case ModelDriven:
+		return "model-driven"
+	case RandomFit:
+		return "random-fit"
+	case PackFirst:
+		return "pack-first"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a scheduling run.
+type Config struct {
+	NumHosts     int
+	SlotsPerHost int
+	Policy       Policy
+	// Predictors and Scores per workload name; required for ModelDriven
+	// (and for QoS checks under any policy).
+	Predictors map[string]core.Predictor
+	Scores     map[string]float64
+	Seed       int64
+}
+
+// JobOutcome reports one job's fate.
+type JobOutcome struct {
+	Job            Job
+	Start          float64 // placement time (>= arrival; queued jobs wait)
+	Finish         float64
+	MeanNormalized float64 // work-weighted mean slowdown while running
+	QoSViolated    bool    // bound exceeded by MeanNormalized
+}
+
+// Result summarizes a run.
+type Result struct {
+	Outcomes      []JobOutcome
+	Makespan      float64
+	MeanStretch   float64 // mean (finish-arrival)/Work over jobs
+	QoSViolations int
+}
+
+// jobName is the placement label for a job.
+func jobName(id int) string { return fmt.Sprintf("job-%d", id) }
+
+// Run executes the scheduling simulation of the given jobs on env's
+// cluster.
+func Run(env *measure.Env, cfg Config, jobs []Job) (Result, error) {
+	if env == nil {
+		return Result{}, errors.New("schedule: nil environment")
+	}
+	if cfg.NumHosts <= 0 || cfg.SlotsPerHost <= 0 {
+		return Result{}, errors.New("schedule: non-positive cluster dimensions")
+	}
+	if len(jobs) == 0 {
+		return Result{}, errors.New("schedule: no jobs")
+	}
+	for _, j := range jobs {
+		if err := j.validate(); err != nil {
+			return Result{}, err
+		}
+		if j.Units > cfg.NumHosts*cfg.SlotsPerHost {
+			return Result{}, fmt.Errorf("schedule: job %d exceeds cluster capacity", j.ID)
+		}
+		if _, ok := cfg.Scores[j.Workload.Name]; !ok {
+			return Result{}, fmt.Errorf("schedule: no bubble score for %q", j.Workload.Name)
+		}
+		if cfg.Policy == ModelDriven {
+			if _, ok := cfg.Predictors[j.Workload.Name]; !ok {
+				return Result{}, fmt.Errorf("schedule: no predictor for %q", j.Workload.Name)
+			}
+		}
+	}
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(i, k int) bool { return ordered[i].Arrival < ordered[k].Arrival })
+
+	s := &state{
+		env: env, cfg: cfg,
+		rng:       sim.NewRNG(cfg.Seed).Stream("schedule"),
+		placement: mustPlacement(cfg.NumHosts, cfg.SlotsPerHost),
+		reg:       map[string]workloads.Workload{},
+		running:   map[int]*runningJob{},
+	}
+	return s.run(ordered)
+}
+
+func mustPlacement(hosts, slots int) *cluster.Placement {
+	p, _ := cluster.NewPlacement(hosts, slots)
+	return p
+}
+
+type runningJob struct {
+	job      Job
+	start    float64
+	progress float64 // solo-seconds completed
+	rate     float64 // current progress per second (1/normalized)
+	normSum  float64 // integral of normalized over time, for the mean
+	normTime float64
+}
+
+type state struct {
+	env       *measure.Env
+	cfg       Config
+	rng       *sim.RNG
+	placement *cluster.Placement
+	reg       map[string]workloads.Workload
+	running   map[int]*runningJob
+	queue     []Job
+	outcomes  []JobOutcome
+}
+
+// refreshRates re-simulates the current placement and updates every
+// running job's progress rate.
+func (s *state) refreshRates() error {
+	if len(s.running) == 0 {
+		return nil
+	}
+	outs, err := s.env.RunPlacement(s.placement, s.reg)
+	if err != nil {
+		return err
+	}
+	for id, rj := range s.running {
+		o, ok := outs[jobName(id)]
+		if !ok {
+			return fmt.Errorf("schedule: job %d missing from placement outcome", id)
+		}
+		if o.Normalized <= 0 {
+			return fmt.Errorf("schedule: job %d non-positive normalized time", id)
+		}
+		rj.rate = 1 / o.Normalized
+	}
+	return nil
+}
+
+// advance progresses every running job to time `to` from time `from`.
+func (s *state) advance(from, to float64) {
+	dt := to - from
+	if dt <= 0 {
+		return
+	}
+	for _, rj := range s.running {
+		rj.progress += dt * rj.rate
+		rj.normSum += dt * (1 / rj.rate)
+		rj.normTime += dt
+	}
+}
+
+// nextCompletion returns the id and absolute time of the next finishing
+// job, or false when none are running.
+func (s *state) nextCompletion(now float64) (int, float64, bool) {
+	bestID, bestAt := -1, math.Inf(1)
+	for id, rj := range s.running {
+		remain := (rj.job.Work - rj.progress) / rj.rate
+		if remain < 0 {
+			remain = 0
+		}
+		at := now + remain
+		if at < bestAt {
+			bestID, bestAt = id, at
+		}
+	}
+	if bestID == -1 {
+		return 0, 0, false
+	}
+	return bestID, bestAt, true
+}
+
+// freeSlots lists currently empty slots.
+func (s *state) freeSlots() []cluster.UnitPos {
+	var out []cluster.UnitPos
+	for h := 0; h < s.placement.NumHosts; h++ {
+		for sl := 0; sl < s.placement.HostSlots; sl++ {
+			if s.placement.At(h, sl) == "" {
+				out = append(out, cluster.UnitPos{Host: h, Slot: sl})
+			}
+		}
+	}
+	return out
+}
+
+// tryPlace attempts to place a job now; it returns false when no valid
+// (and, for ModelDriven, QoS-respecting) assignment exists.
+func (s *state) tryPlace(j Job) (bool, error) {
+	free := s.freeSlots()
+	if len(free) < j.Units {
+		return false, nil
+	}
+	name := jobName(j.ID)
+	w := j.Workload
+	w.Name = name
+	w.App.Name = name
+
+	var chosen []cluster.UnitPos
+	switch s.cfg.Policy {
+	case PackFirst:
+		chosen = append(chosen, free[:j.Units]...)
+	case RandomFit:
+		perm := s.rng.Perm(len(free))
+		for _, idx := range perm {
+			chosen = append(chosen, free[idx])
+			if len(chosen) == j.Units {
+				break
+			}
+		}
+	case ModelDriven:
+		var err error
+		chosen, err = s.greedyChoose(j, name, free)
+		if err != nil {
+			return false, err
+		}
+		if chosen == nil {
+			return false, nil
+		}
+	default:
+		return false, fmt.Errorf("schedule: unknown policy %v", s.cfg.Policy)
+	}
+
+	cand := s.placement.Clone()
+	for _, up := range chosen {
+		if err := cand.Set(up.Host, up.Slot, name); err != nil {
+			return false, err
+		}
+	}
+	if cand.Validate() != nil {
+		return false, nil
+	}
+	s.placement = cand
+	s.reg[name] = w
+	s.running[j.ID] = &runningJob{job: j}
+	return true, nil
+}
+
+// greedyChoose picks the unit slots that minimize the model-predicted
+// weighted slowdown of the whole cluster, one unit at a time, rejecting
+// end states that violate any QoS bound.
+func (s *state) greedyChoose(j Job, name string, free []cluster.UnitPos) ([]cluster.UnitPos, error) {
+	preds := map[string]core.Predictor{}
+	scores := map[string]float64{}
+	for id, rj := range s.running {
+		n := jobName(id)
+		preds[n] = s.cfg.Predictors[rj.job.Workload.Name]
+		scores[n] = s.cfg.Scores[rj.job.Workload.Name]
+	}
+	preds[name] = s.cfg.Predictors[j.Workload.Name]
+	scores[name] = s.cfg.Scores[j.Workload.Name]
+
+	cand := s.placement.Clone()
+	var chosen []cluster.UnitPos
+	remaining := append([]cluster.UnitPos(nil), free...)
+	for u := 0; u < j.Units; u++ {
+		bestIdx := -1
+		bestObj := math.Inf(1)
+		for idx, up := range remaining {
+			if err := cand.Set(up.Host, up.Slot, name); err != nil {
+				return nil, err
+			}
+			obj, ok, err := s.objective(cand, preds, scores)
+			if err != nil {
+				return nil, err
+			}
+			if ok && obj < bestObj {
+				bestObj, bestIdx = obj, idx
+			}
+			if err := cand.Set(up.Host, up.Slot, ""); err != nil {
+				return nil, err
+			}
+		}
+		if bestIdx == -1 {
+			return nil, nil // no QoS-respecting slot for this unit
+		}
+		up := remaining[bestIdx]
+		if err := cand.Set(up.Host, up.Slot, name); err != nil {
+			return nil, err
+		}
+		chosen = append(chosen, up)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	// Final QoS check over the complete assignment.
+	if _, ok, err := s.objective(cand, preds, scores); err != nil || !ok {
+		return nil, err
+	}
+	return chosen, nil
+}
+
+// objective evaluates a hypothetical placement: the unit-weighted mean of
+// predicted normalized times, plus whether every QoS bound holds.
+func (s *state) objective(p *cluster.Placement, preds map[string]core.Predictor, scores map[string]float64) (float64, bool, error) {
+	if p.Validate() != nil {
+		return 0, false, nil
+	}
+	predicted, err := core.PredictPlacement(p, preds, scores)
+	if err != nil {
+		return 0, false, err
+	}
+	var total, weight float64
+	ok := true
+	for n, v := range predicted {
+		w := float64(p.UnitsOf(n))
+		total += v * w
+		weight += w
+		bound := s.boundFor(n)
+		if bound > 0 && v > bound {
+			ok = false
+		}
+	}
+	if weight == 0 {
+		return 0, false, errors.New("schedule: empty hypothetical placement")
+	}
+	return total / weight, ok, nil
+}
+
+// boundFor returns the QoS bound of the named placed job (0 if none).
+func (s *state) boundFor(name string) float64 {
+	for id, rj := range s.running {
+		if jobName(id) == name {
+			return rj.job.QoSBound
+		}
+	}
+	return 0
+}
+
+// complete finalizes a finished job and frees its slots.
+func (s *state) complete(id int, now float64) {
+	rj := s.running[id]
+	name := jobName(id)
+	for _, up := range s.placement.UnitPositions(name) {
+		_ = s.placement.Set(up.Host, up.Slot, "")
+	}
+	delete(s.reg, name)
+	delete(s.running, id)
+	meanNorm := 1.0
+	if rj.normTime > 0 {
+		meanNorm = rj.normSum / rj.normTime
+	}
+	s.outcomes = append(s.outcomes, JobOutcome{
+		Job:            rj.job,
+		Start:          rj.start,
+		Finish:         now,
+		MeanNormalized: meanNorm,
+		QoSViolated:    rj.job.QoSBound > 0 && meanNorm > rj.job.QoSBound,
+	})
+}
+
+// drainQueue places as many queued jobs as now fit, FIFO.
+func (s *state) drainQueue(now float64) error {
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		placed, err := s.tryPlace(j)
+		if err != nil {
+			return err
+		}
+		if placed {
+			s.running[j.ID].start = now
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	s.queue = kept
+	return nil
+}
+
+func (s *state) run(ordered []Job) (Result, error) {
+	now := 0.0
+	next := 0
+	for next < len(ordered) || len(s.running) > 0 || len(s.queue) > 0 {
+		// Determine the next event: an arrival or a completion.
+		arrivalAt := math.Inf(1)
+		if next < len(ordered) {
+			arrivalAt = ordered[next].Arrival
+		}
+		compID, compAt, haveComp := s.nextCompletion(now)
+		if !haveComp && math.IsInf(arrivalAt, 1) {
+			if len(s.queue) > 0 {
+				return Result{}, errors.New("schedule: deadlock — queued jobs but nothing running")
+			}
+			break
+		}
+		if arrivalAt <= compAt || !haveComp {
+			s.advance(now, arrivalAt)
+			now = arrivalAt
+			j := ordered[next]
+			next++
+			placed, err := s.tryPlace(j)
+			if err != nil {
+				return Result{}, err
+			}
+			if placed {
+				s.running[j.ID].start = now
+			} else {
+				s.queue = append(s.queue, j)
+			}
+		} else {
+			s.advance(now, compAt)
+			now = compAt
+			s.complete(compID, now)
+			if err := s.drainQueue(now); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := s.refreshRates(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Outcomes: s.outcomes, Makespan: now}
+	var stretch float64
+	for _, o := range s.outcomes {
+		stretch += (o.Finish - o.Job.Arrival) / o.Job.Work
+		if o.QoSViolated {
+			res.QoSViolations++
+		}
+	}
+	if len(s.outcomes) > 0 {
+		res.MeanStretch = stretch / float64(len(s.outcomes))
+	}
+	return res, nil
+}

@@ -1,0 +1,228 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/workloads"
+)
+
+// fakePredictor predicts linearly from summed pressures, mirroring the
+// placement tests.
+type fakePredictor struct{ per float64 }
+
+func (f fakePredictor) PredictPressures(ps []float64) (float64, error) {
+	var s float64
+	for _, p := range ps {
+		s += p
+	}
+	return 1 + f.per*s, nil
+}
+
+func testEnv(t *testing.T) *measure.Env {
+	t.Helper()
+	env, err := measure.NewEnv(cluster.Default(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reps = 1
+	return env
+}
+
+func testJobs(t *testing.T) []Job {
+	t.Helper()
+	milc, err := workloads.ByName("M.milc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	libq, err := workloads.ByName("C.libq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := workloads.ByName("H.KM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Job{
+		{ID: 1, Workload: milc, Units: 4, Work: 40, Arrival: 0, QoSBound: 1.30},
+		{ID: 2, Workload: libq, Units: 4, Work: 60, Arrival: 5},
+		{ID: 3, Workload: km, Units: 4, Work: 50, Arrival: 10},
+		{ID: 4, Workload: libq, Units: 4, Work: 30, Arrival: 12},
+	}
+}
+
+func testConfig(t *testing.T, policy Policy) Config {
+	t.Helper()
+	preds := map[string]core.Predictor{
+		"M.milc": fakePredictor{per: 0.25},
+		"C.libq": fakePredictor{per: 0.03},
+		"H.KM":   fakePredictor{per: 0.02},
+	}
+	scores := map[string]float64{"M.milc": 3.9, "C.libq": 6.7, "H.KM": 0.3}
+	return Config{
+		NumHosts: 8, SlotsPerHost: 2,
+		Policy: policy, Predictors: preds, Scores: scores, Seed: 1,
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		ModelDriven: "model-driven", RandomFit: "random-fit",
+		PackFirst: "pack-first", Policy(7): "Policy(7)",
+	} {
+		if p.String() != want {
+			t.Errorf("String(%d) = %q", int(p), p.String())
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	env := testEnv(t)
+	cfg := testConfig(t, ModelDriven)
+	jobs := testJobs(t)
+	if _, err := Run(nil, cfg, jobs); err == nil {
+		t.Error("nil env should fail")
+	}
+	if _, err := Run(env, Config{}, jobs); err == nil {
+		t.Error("zero-dimension config should fail")
+	}
+	if _, err := Run(env, cfg, nil); err == nil {
+		t.Error("no jobs should fail")
+	}
+	bad := testJobs(t)
+	bad[0].Units = 0
+	if _, err := Run(env, cfg, bad); err == nil {
+		t.Error("zero units should fail")
+	}
+	bad = testJobs(t)
+	bad[0].Work = 0
+	if _, err := Run(env, cfg, bad); err == nil {
+		t.Error("zero work should fail")
+	}
+	bad = testJobs(t)
+	bad[0].Units = 99
+	if _, err := Run(env, cfg, bad); err == nil {
+		t.Error("over-capacity job should fail")
+	}
+	noScore := testConfig(t, ModelDriven)
+	delete(noScore.Scores, "M.milc")
+	if _, err := Run(env, noScore, testJobs(t)); err == nil {
+		t.Error("missing score should fail")
+	}
+	noPred := testConfig(t, ModelDriven)
+	delete(noPred.Predictors, "M.milc")
+	if _, err := Run(env, noPred, testJobs(t)); err == nil {
+		t.Error("missing predictor should fail for model-driven policy")
+	}
+}
+
+func TestAllJobsComplete(t *testing.T) {
+	env := testEnv(t)
+	for _, policy := range []Policy{ModelDriven, RandomFit, PackFirst} {
+		res, err := Run(env, testConfig(t, policy), testJobs(t))
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if len(res.Outcomes) != 4 {
+			t.Fatalf("%v: %d outcomes, want 4", policy, len(res.Outcomes))
+		}
+		for _, o := range res.Outcomes {
+			if o.Finish <= o.Start || o.Start < o.Job.Arrival {
+				t.Errorf("%v: job %d times broken: %+v", policy, o.Job.ID, o)
+			}
+			// A job can never finish faster than its solo work.
+			if o.Finish-o.Start < o.Job.Work*0.99 {
+				t.Errorf("%v: job %d finished impossibly fast: ran %.1fs for %.1fs of work",
+					policy, o.Job.ID, o.Finish-o.Start, o.Job.Work)
+			}
+			if o.MeanNormalized < 0.99 {
+				t.Errorf("%v: job %d mean normalized %v below 1", policy, o.Job.ID, o.MeanNormalized)
+			}
+		}
+		if res.Makespan <= 0 || res.MeanStretch < 1 {
+			t.Errorf("%v: summary broken: %+v", policy, res)
+		}
+	}
+}
+
+func TestModelDrivenProtectsSensitiveJob(t *testing.T) {
+	env := testEnv(t)
+	jobs := testJobs(t)
+	model, err := Run(env, testConfig(t, ModelDriven), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := Run(env, testConfig(t, PackFirst), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(res Result, id int) float64 {
+		for _, o := range res.Outcomes {
+			if o.Job.ID == id {
+				return o.MeanNormalized
+			}
+		}
+		t.Fatalf("job %d missing", id)
+		return 0
+	}
+	// Job 1 (M.milc, cache sensitive, QoS-bound) should fare better
+	// under the model-driven policy than under oblivious packing.
+	if norm(model, 1) > norm(pack, 1)+1e-9 {
+		t.Errorf("model-driven milc %.3f should not exceed pack-first %.3f",
+			norm(model, 1), norm(pack, 1))
+	}
+	if model.QoSViolations > pack.QoSViolations {
+		t.Errorf("model-driven violations %d exceed pack-first %d",
+			model.QoSViolations, pack.QoSViolations)
+	}
+}
+
+func TestQueueingWhenClusterFull(t *testing.T) {
+	env := testEnv(t)
+	km, err := workloads.ByName("H.KM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 jobs of 8 units on a 16-slot cluster: at most 2 run at once.
+	var jobs []Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, Job{
+			ID: i + 1, Workload: km, Units: 8, Work: 20, Arrival: 0,
+		})
+	}
+	cfg := testConfig(t, PackFirst)
+	res, err := Run(env, cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 5 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	queued := 0
+	for _, o := range res.Outcomes {
+		if o.Start > o.Job.Arrival {
+			queued++
+		}
+	}
+	if queued < 3 {
+		t.Errorf("expected at least 3 queued jobs, got %d", queued)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	env1 := testEnv(t)
+	env2 := testEnv(t)
+	a, err := Run(env1, testConfig(t, RandomFit), testJobs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(env2, testConfig(t, RandomFit), testJobs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.MeanStretch != b.MeanStretch {
+		t.Errorf("same-seed runs diverged: %+v vs %+v", a, b)
+	}
+}

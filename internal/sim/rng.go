@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random stream. Experiments derive independent
+// substreams by name so that adding a new consumer of randomness does not
+// perturb the draws seen by existing consumers — a property plain shared
+// rand.Rand lacks and which keeps every figure in EXPERIMENTS.md stable.
+type RNG struct {
+	seed int64
+	r    *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed this stream was created with.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Stream derives an independent substream identified by name. Identical
+// (seed, name) pairs always produce identical streams.
+func (g *RNG) Stream(name string) *RNG {
+	h := fnv.New64a()
+	// Mix the parent seed into the hash so differently-seeded parents
+	// produce unrelated children for the same name.
+	var buf [8]byte
+	s := uint64(g.seed)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s >> (8 * uint(i)))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return NewRNG(int64(h.Sum64()))
+}
+
+// StreamN derives an indexed substream, useful for per-node or per-sample
+// streams.
+func (g *RNG) StreamN(name string, n int) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	s := uint64(g.seed)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(s >> (8 * uint(i)))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	var nb [8]byte
+	u := uint64(n)
+	for i := 0; i < 8; i++ {
+		nb[i] = byte(u >> (8 * uint(i)))
+	}
+	h.Write(nb[:])
+	return NewRNG(int64(h.Sum64()))
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0,n). It panics if n <= 0, matching
+// math/rand semantics.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (g *RNG) Normal(mean, sd float64) float64 { return mean + sd*g.r.NormFloat64() }
+
+// LogNormal returns a draw whose logarithm is normal with parameters mu and
+// sigma. For small sigma it is a gentle multiplicative jitter around
+// exp(mu), which is how per-iteration compute noise is modelled.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// JitterAround1 returns a lognormal multiplicative factor with unit mean
+// (mu chosen as -sigma^2/2 so E[X] = 1) and the given sigma.
+func (g *RNG) JitterAround1(sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return g.LogNormal(-sigma*sigma/2, sigma)
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Exp returns an exponential draw with the given mean (not rate). A
+// non-positive mean returns 0.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}

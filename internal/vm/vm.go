@@ -1,0 +1,161 @@
+// Package vm models the virtualization layer of the paper's testbed
+// (Section 3.1): dual-vCPU guest VMs under Xen, grouped four-to-a-host
+// into application units, with vCPUs pinned one-to-one onto physical cores
+// and no overcommit. The measurement harness derives its unit sizing from
+// this package, and its planner enforces the constraints the paper's
+// deployment obeys: pinnings never overlap, vCPUs never exceed cores, and
+// the driver domain's CPU headroom — whose absence is what hurts
+// blocked-I/O workloads (Section 4.3) — is reported per host plan.
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VM is one guest virtual machine.
+type VM struct {
+	ID    int
+	VCPUs int
+	MemGB float64
+}
+
+// DefaultVM is the paper's guest: 2 vCPUs, 5 GB (Section 3.1).
+func DefaultVM(id int) VM { return VM{ID: id, VCPUs: 2, MemGB: 5} }
+
+// Validate reports whether the VM is well-formed.
+func (v VM) Validate() error {
+	if v.VCPUs <= 0 {
+		return fmt.Errorf("vm: VM %d has %d vCPUs", v.ID, v.VCPUs)
+	}
+	if v.MemGB <= 0 {
+		return fmt.Errorf("vm: VM %d has %v GB memory", v.ID, v.MemGB)
+	}
+	return nil
+}
+
+// Unit is the paper's placement granule: the VMs of one application that
+// are always scheduled together on a host (four in the paper).
+type Unit struct {
+	App string
+	VMs []VM
+}
+
+// DefaultUnit is the paper's unit: 4 dual-vCPU VMs (8 cores).
+func DefaultUnit(app string, firstID int) Unit {
+	vms := make([]VM, 4)
+	for i := range vms {
+		vms[i] = DefaultVM(firstID + i)
+	}
+	return Unit{App: app, VMs: vms}
+}
+
+// Cores returns the physical cores the unit needs under 1:1 pinning.
+func (u Unit) Cores() int {
+	total := 0
+	for _, v := range u.VMs {
+		total += v.VCPUs
+	}
+	return total
+}
+
+// MemGB returns the unit's total guest memory.
+func (u Unit) MemGB() float64 {
+	var total float64
+	for _, v := range u.VMs {
+		total += v.MemGB
+	}
+	return total
+}
+
+// Validate reports whether the unit is well-formed.
+func (u Unit) Validate() error {
+	if u.App == "" {
+		return errors.New("vm: unit without application")
+	}
+	if len(u.VMs) == 0 {
+		return errors.New("vm: unit without VMs")
+	}
+	seen := map[int]bool{}
+	for _, v := range u.VMs {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+		if seen[v.ID] {
+			return fmt.Errorf("vm: duplicate VM id %d", v.ID)
+		}
+		seen[v.ID] = true
+	}
+	return nil
+}
+
+// Pin assigns one vCPU to one physical core.
+type Pin struct {
+	VMID int
+	VCPU int
+	Core int
+}
+
+// HostPlan is a validated pinning of units onto one host.
+type HostPlan struct {
+	HostCores int
+	Pins      []Pin
+	// IdleCores is the CPU headroom left for the driver domain (Dom0);
+	// zero headroom is what starves blocked-I/O guests.
+	IdleCores int
+}
+
+// PlanHost pins the units' vCPUs one-to-one onto host cores in order,
+// enforcing the paper's no-overcommit rule, and reports the remaining
+// Dom0 headroom. memGB, when positive, also enforces host memory.
+func PlanHost(hostCores int, memGB float64, units []Unit) (HostPlan, error) {
+	if hostCores <= 0 {
+		return HostPlan{}, errors.New("vm: non-positive host cores")
+	}
+	needCores := 0
+	var needMem float64
+	for i, u := range units {
+		if err := u.Validate(); err != nil {
+			return HostPlan{}, fmt.Errorf("vm: unit %d: %w", i, err)
+		}
+		needCores += u.Cores()
+		needMem += u.MemGB()
+	}
+	if needCores > hostCores {
+		return HostPlan{}, fmt.Errorf("vm: %d vCPUs overcommit %d cores", needCores, hostCores)
+	}
+	if memGB > 0 && needMem > memGB {
+		return HostPlan{}, fmt.Errorf("vm: %.0f GB guest memory exceeds %.0f GB host", needMem, memGB)
+	}
+	plan := HostPlan{HostCores: hostCores}
+	core := 0
+	for _, u := range units {
+		for _, v := range u.VMs {
+			for c := 0; c < v.VCPUs; c++ {
+				plan.Pins = append(plan.Pins, Pin{VMID: v.ID, VCPU: c, Core: core})
+				core++
+			}
+		}
+	}
+	plan.IdleCores = hostCores - core
+	return plan, nil
+}
+
+// Validate checks the plan's invariants: every core at most once, every
+// pin within range.
+func (p HostPlan) Validate() error {
+	used := map[int]bool{}
+	for _, pin := range p.Pins {
+		if pin.Core < 0 || pin.Core >= p.HostCores {
+			return fmt.Errorf("vm: pin to core %d outside host", pin.Core)
+		}
+		if used[pin.Core] {
+			return fmt.Errorf("vm: core %d pinned twice", pin.Core)
+		}
+		used[pin.Core] = true
+	}
+	if p.IdleCores != p.HostCores-len(p.Pins) {
+		return errors.New("vm: idle-core accounting broken")
+	}
+	return nil
+}

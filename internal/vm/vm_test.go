@@ -1,0 +1,134 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultShapes(t *testing.T) {
+	v := DefaultVM(3)
+	if v.VCPUs != 2 || v.MemGB != 5 {
+		t.Errorf("default VM = %+v, want the paper's 2 vCPU / 5 GB guest", v)
+	}
+	u := DefaultUnit("M.milc", 0)
+	if len(u.VMs) != 4 {
+		t.Errorf("default unit has %d VMs, want 4", len(u.VMs))
+	}
+	if u.Cores() != 8 {
+		t.Errorf("default unit needs %d cores, want 8", u.Cores())
+	}
+	if u.MemGB() != 20 {
+		t.Errorf("default unit memory = %v, want 20", u.MemGB())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (VM{ID: 1, VCPUs: 0, MemGB: 1}).Validate(); err == nil {
+		t.Error("zero vCPUs should fail")
+	}
+	if err := (VM{ID: 1, VCPUs: 1, MemGB: 0}).Validate(); err == nil {
+		t.Error("zero memory should fail")
+	}
+	if err := (Unit{App: "", VMs: []VM{DefaultVM(1)}}).Validate(); err == nil {
+		t.Error("missing app should fail")
+	}
+	if err := (Unit{App: "x"}).Validate(); err == nil {
+		t.Error("no VMs should fail")
+	}
+	dup := Unit{App: "x", VMs: []VM{DefaultVM(1), DefaultVM(1)}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate VM ids should fail")
+	}
+}
+
+func TestPlanHostPaperConfiguration(t *testing.T) {
+	// Two 4-VM units on a 16-core / 64 GB host: exactly full, no Dom0
+	// headroom — the configuration in which M.Gems suffers.
+	a := DefaultUnit("A", 0)
+	b := DefaultUnit("B", 4)
+	plan, err := PlanHost(16, 64, []Unit{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pins) != 16 {
+		t.Errorf("pins = %d, want 16", len(plan.Pins))
+	}
+	if plan.IdleCores != 0 {
+		t.Errorf("idle cores = %d, want 0 (fully consolidated)", plan.IdleCores)
+	}
+	// One unit alone leaves half the host for Dom0.
+	solo, err := PlanHost(16, 64, []Unit{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.IdleCores != 8 {
+		t.Errorf("solo idle cores = %d, want 8", solo.IdleCores)
+	}
+}
+
+func TestPlanHostRejectsOvercommit(t *testing.T) {
+	units := []Unit{DefaultUnit("A", 0), DefaultUnit("B", 4), DefaultUnit("C", 8)}
+	if _, err := PlanHost(16, 64, units); err == nil {
+		t.Error("24 vCPUs on 16 cores should fail (no overcommit, Section 3.1)")
+	}
+	if _, err := PlanHost(16, 30, []Unit{DefaultUnit("A", 0), DefaultUnit("B", 4)}); err == nil {
+		t.Error("40 GB of guests on a 30 GB host should fail")
+	}
+	if _, err := PlanHost(0, 64, nil); err == nil {
+		t.Error("zero cores should fail")
+	}
+	bad := []Unit{{App: "x"}}
+	if _, err := PlanHost(16, 64, bad); err == nil {
+		t.Error("invalid unit should fail")
+	}
+}
+
+func TestPlanValidateCatchesCorruption(t *testing.T) {
+	plan, err := PlanHost(16, 64, []Unit{DefaultUnit("A", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Pins[0].Core = plan.Pins[1].Core
+	if err := plan.Validate(); err == nil {
+		t.Error("double-pinned core should fail validation")
+	}
+	plan2, _ := PlanHost(16, 64, []Unit{DefaultUnit("A", 0)})
+	plan2.Pins[0].Core = 99
+	if err := plan2.Validate(); err == nil {
+		t.Error("out-of-range pin should fail validation")
+	}
+	plan3, _ := PlanHost(16, 64, []Unit{DefaultUnit("A", 0)})
+	plan3.IdleCores = 3
+	if err := plan3.Validate(); err == nil {
+		t.Error("broken idle accounting should fail validation")
+	}
+}
+
+// Property: any number of default units that fits produces a valid plan
+// whose pins cover exactly the needed cores.
+func TestPlanProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%2) + 1 // 1 or 2 units fit on 16 cores
+		units := make([]Unit, n)
+		for i := range units {
+			units[i] = DefaultUnit("app", i*4)
+		}
+		plan, err := PlanHost(16, 64, units)
+		if err != nil {
+			return false
+		}
+		if plan.Validate() != nil {
+			return false
+		}
+		return len(plan.Pins) == 8*n && plan.IdleCores == 16-8*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
