@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test race vet ci bench repro quick
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# The pre-commit gate: vet + build + race-enabled tests.
+ci:
+	./ci.sh
+
+# Run all benchmarks and refresh BENCH_telemetry.json (ns/op per
+# benchmark). Override BENCHTIME for steadier numbers, e.g.
+# `make bench BENCHTIME=2s`.
+bench:
+	BENCHTIME=$${BENCHTIME:-1x} ./scripts/bench.sh
+
+# Regenerate EXPERIMENTS.md from the full experiment suite.
+repro:
+	go run ./cmd/paperrepro -markdown -o EXPERIMENTS.md
+
+# A fast sanity pass over every experiment.
+quick:
+	go run ./cmd/paperrepro -quick

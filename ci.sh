@@ -1,0 +1,13 @@
+#!/bin/sh
+# ci.sh — the repository's continuous-integration gate: vet, build, and
+# the full test suite with the race detector. Run it before every commit.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+echo "ci: all checks passed"

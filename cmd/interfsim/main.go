@@ -7,6 +7,7 @@
 //	interfsim -workload M.lmps -nodes 8 -interfering 2 -pressure 6
 //	interfsim -workload M.milc -ec2 -nodes 32 -interfering 16 -pressure 4
 //	interfsim -workload M.lesl -pressures 8,5,0,0,3,0,0,0
+//	interfsim -workload M.lmps -metrics out.json -trace trace.json
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 
 	"repro/internal/ec2"
 	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 
 	interference "repro"
@@ -33,15 +36,25 @@ func main() {
 		useEC2      = flag.Bool("ec2", false, "use the simulated EC2 environment")
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		list        = flag.Bool("list", false, "list available workloads and exit")
+		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file")
+		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file")
 	)
 	flag.Parse()
 
+	out := report.NewReporter(os.Stdout)
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-8s %-14s engine=%s\n", w.Name, w.Kind, w.App.Engine)
+			out.KV(w.Name, "%s\tengine=%s", w.Kind, w.App.Engine)
+		}
+		if err := out.Flush(); err != nil {
+			fatal(err)
 		}
 		return
 	}
+
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	runReport := telemetry.NewRunReport("interfsim", *seed, os.Args[1:])
 
 	w, err := workloads.ByName(*name)
 	if err != nil {
@@ -56,6 +69,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	env.Telemetry = reg
+	env.Tracer = tracer
 
 	var pressures []float64
 	if *pressureCSV != "" {
@@ -81,12 +96,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("workload   %s (%s, engine %s)\n", w.Name, w.Kind, w.App.Engine)
-	fmt.Printf("nodes      %d\n", len(pressures))
-	fmt.Printf("pressures  %v\n", pressures)
-	fmt.Printf("solo       %.3f s\n", solo)
-	fmt.Printf("interfered %.3f s\n", raw)
-	fmt.Printf("normalized %.4f\n", raw/solo)
+	out.KV("workload", "%s (%s, engine %s)", w.Name, w.Kind, w.App.Engine)
+	out.KV("nodes", "%d", len(pressures))
+	out.KV("pressures", "%v", pressures)
+	out.KV("solo", "%.3f s", solo)
+	out.KV("interfered", "%.3f s", raw)
+	out.KV("normalized", "%.4f", raw/solo)
+
+	if err := telemetry.Emit(runReport, reg, tracer, *metricsPath, *tracePath); err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

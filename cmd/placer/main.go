@@ -7,6 +7,7 @@
 //	placer -apps M.milc,C.libq,H.KM,M.lmps
 //	placer -apps M.lmps,C.libq,H.KM,N.cg -qos M.lmps -bound 1.25
 //	placer -apps M.milc,C.libq,H.KM,M.lmps -goal worst
+//	placer -apps M.milc,C.libq,H.KM,M.lmps -metrics out.json -trace trace.json
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/placement"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 
 	interference "repro"
@@ -25,30 +28,41 @@ import (
 
 func main() {
 	var (
-		appsCSV = flag.String("apps", "M.milc,C.libq,H.KM,M.lmps", "comma-separated mix of 4 workloads")
-		qosApp  = flag.String("qos", "", "application to protect with a QoS constraint")
-		bound   = flag.Float64("bound", 1.25, "QoS bound on normalized execution time")
-		goal    = flag.String("goal", "best", "search goal: best or worst")
-		iters   = flag.Int("iters", 4000, "annealing iterations")
-		units   = flag.Int("units", 4, "units per application")
-		naive   = flag.Bool("naive", false, "drive the search with the naive proportional model")
-		seed    = flag.Int64("seed", 1, "experiment seed")
+		appsCSV     = flag.String("apps", "M.milc,C.libq,H.KM,M.lmps", "comma-separated mix of 4 workloads")
+		qosApp      = flag.String("qos", "", "application to protect with a QoS constraint")
+		bound       = flag.Float64("bound", 1.25, "QoS bound on normalized execution time")
+		goal        = flag.String("goal", "best", "search goal: best or worst")
+		iters       = flag.Int("iters", 4000, "annealing iterations")
+		units       = flag.Int("units", 4, "units per application")
+		naive       = flag.Bool("naive", false, "drive the search with the naive proportional model")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file")
+		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file")
 	)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	runReport := telemetry.NewRunReport("placer", *seed, os.Args[1:])
+	out := report.NewReporter(os.Stdout)
 
 	names := strings.Split(*appsCSV, ",")
 	env, err := interference.NewPrivateClusterEnv(*seed)
 	if err != nil {
 		fatal(err)
 	}
+	env.Telemetry = reg
+	env.Tracer = tracer
 
 	preds := map[string]interference.Predictor{}
 	scores := map[string]float64{}
-	reg := map[string]workloads.Workload{}
+	wreg := map[string]workloads.Workload{}
 	var demands []interference.Demand
 	counts := map[string]int{}
 	cfg := interference.DefaultBuildConfig()
 	cfg.Seed = *seed
+	cfg.Telemetry = reg
+	cfg.Tracer = tracer
 	for _, raw := range names {
 		base := strings.TrimSpace(raw)
 		w, err := interference.WorkloadByName(base)
@@ -80,7 +94,7 @@ func main() {
 		}
 		preds[alias] = pred
 		scores[alias] = score
-		reg[alias] = w
+		wreg[alias] = w
 		demands = append(demands, interference.Demand{App: alias, Units: *units})
 	}
 
@@ -90,6 +104,8 @@ func main() {
 	}
 	pcfg := interference.DefaultPlacementConfig(*seed)
 	pcfg.Iterations = *iters
+	pcfg.Telemetry = reg
+	pcfg.Tracer = tracer
 	switch *goal {
 	case "best":
 		pcfg.Goal = placement.Best
@@ -105,15 +121,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cluster.RecordOccupancy(reg, res.Placement)
 
-	fmt.Printf("placement    %s\n", res.Placement)
-	fmt.Printf("objective    %.4f (weighted normalized runtime, model)\n", res.Objective)
+	out.KV("placement", "%s", res.Placement)
+	out.KV("objective", "%.4f (weighted normalized runtime, model)", res.Objective)
 	if pcfg.QoS != nil {
-		fmt.Printf("QoS (model)  %s <= %.2f: %v\n", *qosApp, *bound, res.QoSSatisfied)
+		out.KV("QoS (model)", "%s <= %.2f: %v", *qosApp, *bound, res.QoSSatisfied)
 	}
-	fmt.Printf("evaluations  %d\n\n", res.Evaluations)
+	out.KV("evaluations", "%d", res.Evaluations)
+	out.Blank()
 
-	outs, err := env.RunPlacement(res.Placement, reg)
+	outs, err := env.RunPlacement(res.Placement, wreg)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,10 +143,18 @@ func main() {
 	}
 	sort.Strings(appNames)
 	for _, a := range appNames {
+		reg.Gauge(telemetry.Label("app_predicted_normalized", "app", a)).Set(res.Predicted[a])
 		tb.MustAddRow(a, report.Norm(res.Predicted[a]), report.Norm(outs[a].Normalized),
 			fmt.Sprint(res.Placement.UnitsOf(a)))
 	}
-	fmt.Println(tb)
+	out.Table(tb)
+
+	if err := telemetry.Emit(runReport, reg, tracer, *metricsPath, *tracePath); err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

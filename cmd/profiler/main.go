@@ -1,10 +1,13 @@
 // Command profiler builds the full interference model of one workload —
 // propagation matrix, heterogeneity mapping policy, and bubble score — and
-// prints it, together with the profiling cost the chosen algorithm paid.
+// prints it, together with the profiling cost the chosen algorithm paid
+// and the provenance of every matrix cell (measured, interpolated, or
+// inferred).
 //
-// Example:
+// Examples:
 //
 //	profiler -workload M.milc -alg binary-optimized -samples 60
+//	profiler -workload M.milc -metrics out.json -trace trace.json
 package main
 
 import (
@@ -16,19 +19,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/hetero"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 
 	interference "repro"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "M.milc", "workload name")
-		algName = flag.String("alg", "binary-optimized", "profiling algorithm: binary-optimized, binary-brute, full-brute, random-30%, random-50%")
-		samples = flag.Int("samples", 60, "heterogeneous samples for policy selection")
-		nodes   = flag.Int("nodes", 8, "nodes the application spans while profiled")
-		seed    = flag.Int64("seed", 1, "experiment seed")
+		name        = flag.String("workload", "M.milc", "workload name")
+		algName     = flag.String("alg", "binary-optimized", "profiling algorithm: binary-optimized, binary-brute, full-brute, random-30%, random-50%")
+		samples     = flag.Int("samples", 60, "heterogeneous samples for policy selection")
+		nodes       = flag.Int("nodes", 8, "nodes the application spans while profiled")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file")
+		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file")
 	)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	runReport := telemetry.NewRunReport("profiler", *seed, os.Args[1:])
+	out := report.NewReporter(os.Stdout)
 
 	alg, err := parseAlg(*algName)
 	if err != nil {
@@ -38,6 +49,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	env.Telemetry = reg
+	env.Tracer = tracer
 	w, err := interference.WorkloadByName(*name)
 	if err != nil {
 		fatal(err)
@@ -47,16 +60,22 @@ func main() {
 	cfg.Samples = *samples
 	cfg.Nodes = *nodes
 	cfg.Seed = *seed
+	cfg.Telemetry = reg
+	cfg.Tracer = tracer
 	model, err := interference.BuildModel(env, w, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("workload        %s\n", model.Workload)
-	fmt.Printf("bubble score    %.2f (paper: %.1f)\n", model.BubbleScore, w.TargetBubbleScore)
-	fmt.Printf("best policy     %s (avg err %.2f%%, std %.2f)\n",
+	out.KV("workload", "%s", model.Workload)
+	out.KV("bubble score", "%.2f (paper: %.1f)", model.BubbleScore, w.TargetBubbleScore)
+	out.KV("best policy", "%s (avg err %.2f%%, std %.2f)",
 		model.Policy, model.Selection.BestStats.AvgPct, model.Selection.BestStats.StdPct)
-	fmt.Printf("profiling cost  %.1f%% of settings (%s)\n\n", model.ProfilingCostPct, alg)
+	out.KV("profiling cost", "%.1f%% of settings (%s)", model.ProfilingCostPct, alg)
+	pc := model.Matrix.ProvenanceCounts()
+	out.KV("cell provenance", "measured %d, interpolated %d, inferred %d",
+		pc["measured"], pc["interpolated"], pc["inferred"])
+	out.Blank()
 
 	headers := []string{"pressure \\ nodes"}
 	for j := 0; j <= *nodes; j++ {
@@ -70,7 +89,8 @@ func main() {
 		}
 		tb.MustAddRow(row...)
 	}
-	fmt.Println(tb)
+	out.Table(tb)
+	out.Blank()
 
 	pol := report.NewTable("Heterogeneity policy errors over sampled configurations",
 		"policy", "avg(%)", "std", "min(%)", "max(%)")
@@ -79,7 +99,14 @@ func main() {
 		pol.MustAddRow(p.String(), report.F(st.AvgPct, 2), report.F(st.StdPct, 2),
 			report.F(st.MinPct, 2), report.F(st.MaxPct, 2))
 	}
-	fmt.Println(pol)
+	out.Table(pol)
+
+	if err := telemetry.Emit(runReport, reg, tracer, *metricsPath, *tracePath); err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func parseAlg(s string) (core.Algorithm, error) {

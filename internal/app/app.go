@@ -29,6 +29,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Engine selects the execution structure of a Spec.
@@ -160,6 +161,39 @@ type Params struct {
 	Slowdown []float64 // one entry per node the app occupies; >= 1 each
 	Net      netsim.Network
 	RNG      *sim.RNG
+	// Telemetry, when non-nil, instruments the run's event engine (see
+	// sim.Engine.Instrument) and records per-engine run counters and
+	// simulated-makespan histograms. Nil costs nothing.
+	Telemetry *telemetry.Registry
+}
+
+// Metric names recorded by Run when Params.Telemetry is set; both carry an
+// engine label.
+const (
+	MetricAppRuns       = "app_runs_total"
+	MetricAppRunSeconds = "app_run_seconds"
+)
+
+// appRunBuckets cover simulated makespans from 1 s to ~65k s.
+var appRunBuckets = telemetry.ExpBuckets(1, 4, 9)
+
+// engineFor builds the run's event engine, instrumented when requested.
+func engineFor(p Params) *sim.Engine {
+	eng := sim.NewEngine()
+	if p.Telemetry != nil {
+		eng.Instrument(p.Telemetry)
+	}
+	return eng
+}
+
+// record logs a finished run's simulated makespan.
+func (s Spec) record(p Params, makespan float64) {
+	if p.Telemetry == nil {
+		return
+	}
+	eng := s.Engine.String()
+	p.Telemetry.Counter(telemetry.Label(MetricAppRuns, "engine", eng)).Inc()
+	p.Telemetry.Histogram(telemetry.Label(MetricAppRunSeconds, "engine", eng), appRunBuckets).Observe(makespan)
 }
 
 func (p Params) validate() error {
@@ -189,17 +223,25 @@ func (s Spec) Run(p Params) (float64, error) {
 	if err := p.validate(); err != nil {
 		return 0, err
 	}
+	var t float64
+	var err error
 	switch s.Engine {
 	case BSP:
-		return s.runBSP(p)
+		t, err = s.runBSP(p)
 	case Wavefront:
-		return s.runWavefront(p)
+		t, err = s.runWavefront(p)
 	case TaskPool, Stages:
-		return s.runTasks(p)
+		t, err = s.runTasks(p)
 	case Independent:
-		return s.runIndependent(p)
+		t, err = s.runIndependent(p)
+	default:
+		return 0, fmt.Errorf("app %s: unknown engine", s.Name)
 	}
-	return 0, fmt.Errorf("app %s: unknown engine", s.Name)
+	if err != nil {
+		return 0, err
+	}
+	s.record(p, t)
+	return t, nil
 }
 
 // nodeStreams derives one jitter stream per node so adding nodes never
@@ -215,7 +257,7 @@ func nodeStreams(rng *sim.RNG, n int) []*sim.RNG {
 // runBSP executes bulk-synchronous iterations: all nodes compute, the
 // slowest gates the iteration, then collectives run.
 func (s Spec) runBSP(p Params) (float64, error) {
-	eng := sim.NewEngine()
+	eng := engineFor(p)
 	nodes := len(p.Slowdown)
 	streams := nodeStreams(p.RNG, nodes)
 	procs := nodes * s.ProcsPerNode
@@ -240,10 +282,10 @@ func (s Spec) runBSP(p Params) (float64, error) {
 		remaining := nodes
 		for i := 0; i < nodes; i++ {
 			d := s.IterSec * p.Slowdown[i] * streams[i].JitterAround1(s.NoiseSigma)
-			if err := eng.After(d, func() {
+			if err := eng.AfterKind(d, "bsp.compute", func() {
 				remaining--
 				if remaining == 0 {
-					if err := eng.After(collective, startIter); err != nil {
+					if err := eng.AfterKind(collective, "bsp.collective", startIter); err != nil {
 						schedErr = err
 						eng.Halt()
 					}
@@ -269,7 +311,7 @@ func (s Spec) runBSP(p Params) (float64, error) {
 // node 0 computes and hands off to node 1, and so on. Each node's slowdown
 // therefore contributes additively to the iteration.
 func (s Spec) runWavefront(p Params) (float64, error) {
-	eng := sim.NewEngine()
+	eng := engineFor(p)
 	nodes := len(p.Slowdown)
 	streams := nodeStreams(p.RNG, nodes)
 	hop := p.Net.PointToPoint(256 * 1024) // stage hand-off message
@@ -285,7 +327,7 @@ func (s Spec) runWavefront(p Params) (float64, error) {
 		// split evenly across the serialized node stages.
 		d := s.IterSec / float64(nodes) * p.Slowdown[node] * streams[node].JitterAround1(s.NoiseSigma)
 		cur := node
-		if err := eng.After(d, func() {
+		if err := eng.AfterKind(d, "wavefront.stage", func() {
 			_ = cur
 			node++
 			if node == nodes {
@@ -295,7 +337,7 @@ func (s Spec) runWavefront(p Params) (float64, error) {
 					return
 				}
 			}
-			if err := eng.After(hop, step); err != nil {
+			if err := eng.AfterKind(hop, "wavefront.hop", step); err != nil {
 				schedErr = err
 				eng.Halt()
 			}
@@ -330,7 +372,7 @@ type taskState struct {
 // difference is entirely in the spec parameters (task granularity,
 // speculation, shuffle volume).
 func (s Spec) runTasks(p Params) (float64, error) {
-	eng := sim.NewEngine()
+	eng := engineFor(p)
 	nodes := len(p.Slowdown)
 	streams := nodeStreams(p.RNG, nodes)
 
@@ -406,7 +448,7 @@ func (s Spec) runTasks(p Params) (float64, error) {
 				tasks[id].node = node
 				running[id] = true
 			}
-			if err := eng.After(d, completeOn(id, node)); err != nil {
+			if err := eng.AfterKind(d, "task.complete", completeOn(id, node)); err != nil {
 				fail(err)
 			}
 		}
@@ -470,7 +512,7 @@ func (s Spec) runTasks(p Params) (float64, error) {
 			if s.ShuffleBytesPerNode > 0 {
 				gap = p.Net.Shuffle(nodes, s.ShuffleBytesPerNode)
 			}
-			if err := eng.After(gap, startStage); err != nil {
+			if err := eng.AfterKind(gap, "task.stage-start", startStage); err != nil {
 				fail(err)
 			}
 		}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/contention"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Cluster is a set of identical physical hosts behind one switch.
@@ -343,4 +344,46 @@ func PackedPlacement(numHosts, slotsPerHost int, demands []Demand) (*Placement, 
 		}
 	}
 	return p, nil
+}
+
+// Metric names published by RecordOccupancy. The per-app units gauge
+// carries an app label.
+const (
+	MetricHostsTotal = "cluster_hosts_total"
+	MetricSlotsTotal = "cluster_slots_total"
+	MetricHostsUsed  = "cluster_hosts_used"
+	MetricSlotsUsed  = "cluster_slots_used"
+	MetricAppsPlaced = "cluster_apps_placed"
+	MetricAppUnits   = "cluster_app_units"
+)
+
+// RecordOccupancy publishes a placement's occupancy as gauges: cluster
+// dimensions, hosts and slots in use, applications placed, and per-app
+// unit counts. A nil registry is a no-op.
+func RecordOccupancy(reg *telemetry.Registry, p *Placement) {
+	if reg == nil || p == nil {
+		return
+	}
+	reg.Gauge(MetricHostsTotal).Set(float64(p.NumHosts))
+	reg.Gauge(MetricSlotsTotal).Set(float64(p.NumHosts * p.HostSlots))
+	hostsUsed, slotsUsed := 0, 0
+	for h := 0; h < p.NumHosts; h++ {
+		used := false
+		for s := 0; s < p.HostSlots; s++ {
+			if p.At(h, s) != "" {
+				slotsUsed++
+				used = true
+			}
+		}
+		if used {
+			hostsUsed++
+		}
+	}
+	reg.Gauge(MetricHostsUsed).Set(float64(hostsUsed))
+	reg.Gauge(MetricSlotsUsed).Set(float64(slotsUsed))
+	apps := p.Apps()
+	reg.Gauge(MetricAppsPlaced).Set(float64(len(apps)))
+	for _, a := range apps {
+		reg.Gauge(telemetry.Label(MetricAppUnits, "app", a)).Set(float64(p.UnitsOf(a)))
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -127,7 +128,22 @@ type BuildConfig struct {
 	Samples   int       // heterogeneous samples for policy selection
 	Eps       float64   // binary-search indistinguishability threshold
 	Seed      int64     // randomness for sampling-based pieces
+	// Telemetry, when non-nil, receives per-algorithm measurement
+	// counters, per-workload profiling-cost gauges, and cell-provenance
+	// counts. Tracer, when non-nil, receives one span per model build.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
+
+// Metric names recorded by BuildModel when Telemetry is set. The counter
+// and provenance names carry an alg/workload label via telemetry.Label.
+const (
+	MetricProfileMeasurements = "profile_measurements_total"
+	MetricProfileSettings     = "profile_settings_total"
+	MetricProfileCostPct      = "profile_cost_pct"
+	MetricProfileCells        = "profile_cells_total"
+	MetricModelsBuilt         = "models_built_total"
+)
 
 // DefaultBuildConfig mirrors the paper: 8 nodes, binary-optimized
 // profiling, 60 heterogeneous samples.
@@ -168,6 +184,8 @@ func BuildModel(env *measure.Env, w workloads.Workload, cfg BuildConfig) (*Model
 	if cfg.Samples <= 0 {
 		return nil, errors.New("core: non-positive sample count")
 	}
+	span := cfg.Tracer.StartSpan("core.build-model/" + w.Name)
+	defer span.End()
 	meas := PropagationMeasurer(env, w, cfg.Nodes)
 	var res profile.Result
 	var err error
@@ -188,6 +206,16 @@ func BuildModel(env *measure.Env, w workloads.Workload, cfg BuildConfig) (*Model
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", w.Name, err)
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		alg := cfg.Algorithm.String()
+		tel.Counter(telemetry.Label(MetricProfileMeasurements, "alg", alg)).Add(uint64(res.Measured))
+		tel.Counter(telemetry.Label(MetricProfileSettings, "alg", alg)).Add(uint64(res.Total))
+		tel.Gauge(telemetry.Label(MetricProfileCostPct, "workload", w.Name)).Set(res.CostPct())
+		for prov, n := range res.Provenance {
+			tel.Counter(telemetry.Label(MetricProfileCells, "alg", alg, "prov", prov)).Add(uint64(n))
+		}
+		tel.Counter(MetricModelsBuilt).Inc()
 	}
 	sel, err := hetero.Select(res.Matrix, HeteroMeasurer(env, w), cfg.Nodes, bubble.MaxPressure, cfg.Samples, rng.Stream("hetero"))
 	if err != nil {

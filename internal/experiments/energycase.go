@@ -31,13 +31,13 @@ func (l *Lab) Energy() (Output, error) {
 			return Output{}, err
 		}
 		iters := l.Cfg.placementIters()
-		bestCfg := placement.DefaultConfig(l.Cfg.Seed + 101)
+		bestCfg := l.PlacementConfig(l.Cfg.Seed + 101)
 		bestCfg.Iterations = iters
 		best, err := placement.Search(req, bestCfg)
 		if err != nil {
 			return Output{}, err
 		}
-		worstCfg := placement.DefaultConfig(l.Cfg.Seed + 103)
+		worstCfg := l.PlacementConfig(l.Cfg.Seed + 103)
 		worstCfg.Iterations = iters
 		worstCfg.Goal = placement.Worst
 		worst, err := placement.Search(req, worstCfg)

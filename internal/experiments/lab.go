@@ -28,7 +28,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/ec2"
 	"repro/internal/measure"
+	"repro/internal/placement"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -37,6 +39,11 @@ import (
 type Config struct {
 	Seed  int64
 	Quick bool
+	// Telemetry and Tracer, when non-nil, instrument every environment
+	// and model build the lab performs (see internal/telemetry). Nil
+	// disables instrumentation entirely.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // DefaultConfig is the full-fidelity configuration.
@@ -106,6 +113,8 @@ func NewLab(cfg Config) (*Lab, error) {
 		return nil, err
 	}
 	env.Reps = cfg.reps()
+	env.Telemetry = cfg.Telemetry
+	env.Tracer = cfg.Tracer
 	return &Lab{
 		Cfg:     cfg,
 		Env:     env,
@@ -121,6 +130,8 @@ func (l *Lab) buildCfg() core.BuildConfig {
 	cfg := core.DefaultBuildConfig()
 	cfg.Samples = l.Cfg.heteroSamples()
 	cfg.Seed = l.Cfg.Seed
+	cfg.Telemetry = l.Cfg.Telemetry
+	cfg.Tracer = l.Cfg.Tracer
 	return cfg
 }
 
@@ -187,6 +198,8 @@ func (l *Lab) EC2Env() (*measure.Env, error) {
 		return nil, err
 	}
 	env.Reps = l.Cfg.reps()
+	env.Telemetry = l.Cfg.Telemetry
+	env.Tracer = l.Cfg.Tracer
 	l.ec2Env = env
 	return env, nil
 }
@@ -293,4 +306,14 @@ func All(cfg Config) ([]Output, error) {
 		outs = append(outs, o)
 	}
 	return outs, nil
+}
+
+// PlacementConfig returns the placement-search configuration for the given
+// seed, carrying the lab's telemetry so annealing convergence is recorded
+// when the lab is instrumented.
+func (l *Lab) PlacementConfig(seed int64) placement.Config {
+	cfg := placement.DefaultConfig(seed)
+	cfg.Telemetry = l.Cfg.Telemetry
+	cfg.Tracer = l.Cfg.Tracer
+	return cfg
 }

@@ -153,7 +153,7 @@ func (l *Lab) Figure10() (Output, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			cfg := placement.DefaultConfig(l.Cfg.Seed + int64(len(m.id)))
+			cfg := l.PlacementConfig(l.Cfg.Seed + int64(len(m.id)))
 			cfg.Iterations = l.Cfg.placementIters()
 			cfg.QoS = &placement.QoS{App: target, MaxNormalized: qosBound}
 			res, err := placement.Search(req, cfg)
@@ -222,20 +222,20 @@ func (l *Lab) figure11() (Output, error) {
 		}
 		iters := l.Cfg.placementIters()
 
-		bestCfg := placement.DefaultConfig(l.Cfg.Seed + 17)
+		bestCfg := l.PlacementConfig(l.Cfg.Seed + 17)
 		bestCfg.Iterations = iters
 		best, err := placement.Search(req, bestCfg)
 		if err != nil {
 			return Output{}, err
 		}
-		worstCfg := placement.DefaultConfig(l.Cfg.Seed + 29)
+		worstCfg := l.PlacementConfig(l.Cfg.Seed + 29)
 		worstCfg.Iterations = iters
 		worstCfg.Goal = placement.Worst
 		worst, err := placement.Search(req, worstCfg)
 		if err != nil {
 			return Output{}, err
 		}
-		naiveCfg := placement.DefaultConfig(l.Cfg.Seed + 31)
+		naiveCfg := l.PlacementConfig(l.Cfg.Seed + 31)
 		naiveCfg.Iterations = iters
 		naiveBest, err := placement.Search(naiveReq, naiveCfg)
 		if err != nil {

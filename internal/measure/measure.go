@@ -19,6 +19,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -41,10 +42,31 @@ type Env struct {
 	UnitCores int // cores per application unit on one host
 	// Background, when non-nil, adds unmeasured interference per host.
 	Background BackgroundFunc
+	// Telemetry, when non-nil, counts measurements, instruments every
+	// application run's event engine, and publishes per-app
+	// predicted-vs-actual gauges from RunPlacement. Tracer, when
+	// non-nil, records one span per measurement. Both may be nil.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 
 	mu        sync.Mutex
 	soloCache map[string]float64
 	nonce     int
+}
+
+// Metric names recorded by an instrumented Env. The actual-normalized
+// gauge carries an app label.
+const (
+	MetricMeasureRuns      = "measure_runs_total"
+	MetricPlacementRuns    = "measure_placement_runs_total"
+	MetricActualNormalized = "app_actual_normalized"
+)
+
+// count bumps a counter if the environment is instrumented.
+func (e *Env) count(name string) {
+	if e.Telemetry != nil {
+		e.Telemetry.Counter(name).Inc()
+	}
 }
 
 // nextNonce returns a fresh measurement identifier. Background interference
@@ -112,9 +134,10 @@ func (e *Env) slowdownOn(host int, occ []contention.Occupant, rep, nonce int) (f
 // runOnce executes the workload once with the given per-node slowdowns.
 func (e *Env) runOnce(w workloads.Workload, sd []float64, rep int) (float64, error) {
 	return w.App.Run(app.Params{
-		Slowdown: sd,
-		Net:      e.net(),
-		RNG:      e.rng().Stream("run").Stream(w.Name).StreamN("rep", rep),
+		Slowdown:  sd,
+		Net:       e.net(),
+		RNG:       e.rng().Stream("run").Stream(w.Name).StreamN("rep", rep),
+		Telemetry: e.Telemetry,
 	})
 }
 
@@ -129,6 +152,8 @@ func (e *Env) RunWithBubbles(w workloads.Workload, pressures []float64) (float64
 	if nodes > e.Cluster.NumHosts {
 		return 0, fmt.Errorf("measure: %d nodes on a %d-host cluster", nodes, e.Cluster.NumHosts)
 	}
+	e.count(MetricMeasureRuns)
+	span := e.Tracer.StartSpan("measure.bubbles/" + w.Name)
 	nonce := e.nextNonce()
 	times := make([]float64, 0, e.Reps)
 	for rep := 0; rep < e.Reps; rep++ {
@@ -150,7 +175,9 @@ func (e *Env) RunWithBubbles(w workloads.Workload, pressures []float64) (float64
 		}
 		times = append(times, t)
 	}
-	return stats.Mean(times), nil
+	mean := stats.Mean(times)
+	span.SetSimSeconds(mean).End()
+	return mean, nil
 }
 
 // Solo returns the workload's execution time with no controlled
@@ -276,6 +303,8 @@ func (e *Env) RunGroup(apps []workloads.Workload, nodes int) ([]AppOutcome, erro
 	if len(apps)*e.UnitCores > e.Cluster.HostSpec.Cores {
 		return nil, fmt.Errorf("measure: %d units of %d cores exceed host cores", len(apps), e.UnitCores)
 	}
+	e.count(MetricMeasureRuns)
+	defer e.Tracer.StartSpan("measure.group").End()
 	nonce := e.nextNonce()
 	sums := make([]float64, len(apps))
 	for rep := 0; rep < e.Reps; rep++ {
@@ -352,6 +381,9 @@ func (e *Env) RunPlacement(p *cluster.Placement, reg map[string]workloads.Worklo
 			return nil, fmt.Errorf("measure: placement references unknown workload %q", a)
 		}
 	}
+	e.count(MetricPlacementRuns)
+	span := e.Tracer.StartSpan("measure.placement")
+	defer span.End()
 	// unitIdx maps (app, host, slot) to the unit's logical node index.
 	unitIdx := map[cluster.UnitPos]int{}
 	positions := map[string][]cluster.UnitPos{}
@@ -421,6 +453,9 @@ func (e *Env) RunPlacement(p *cluster.Placement, reg map[string]workloads.Worklo
 		mean := sums[a] / float64(e.Reps)
 		outcomes[a] = AppOutcome{
 			Time: mean, Solo: solo, Normalized: mean / solo, Nodes: units,
+		}
+		if e.Telemetry != nil {
+			e.Telemetry.Gauge(telemetry.Label(MetricActualNormalized, "app", a)).Set(mean / solo)
 		}
 	}
 	return outcomes, nil

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Request describes a placement problem: which applications need how many
@@ -115,7 +116,34 @@ type Config struct {
 	Method     Method
 	QoS        *QoS // optional QoS constraint (only meaningful with Best)
 	Restarts   int  // independent restarts (default 3)
+
+	// Telemetry, when non-nil, receives the search counters, acceptance
+	// rate, and the convergence series named by the Metric* constants
+	// (one sample per temperature step). Tracer, when non-nil, receives
+	// one span per restart. Both are ignored when nil and never affect
+	// the search trajectory, which depends only on Seed.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
+
+// Metric names recorded by Search when Config.Telemetry is set.
+const (
+	MetricIterations     = "placement_iterations_total"
+	MetricProposals      = "placement_proposals_total"
+	MetricAccepted       = "placement_accepted_total"
+	MetricRejected       = "placement_rejected_total"
+	MetricInvalid        = "placement_invalid_total"
+	MetricEvaluations    = "placement_evaluations_total"
+	MetricRestarts       = "placement_restarts_total"
+	MetricAcceptanceRate = "placement_acceptance_rate"
+	MetricBestObjective  = "placement_best_objective"
+	MetricFinalTemp      = "placement_final_temperature"
+	// SeriesTemperature and SeriesBestObjective are convergence series:
+	// x is the global step index across restarts, y the temperature and
+	// the best objective seen so far, respectively.
+	SeriesTemperature   = "placement_temperature"
+	SeriesBestObjective = "placement_best_objective_trace"
+)
 
 // DefaultConfig returns the tuning used by the experiments.
 func DefaultConfig(seed int64) Config {
@@ -222,7 +250,24 @@ func Search(req Request, cfg Config) (Result, error) {
 	haveBest := false
 	evals := 0
 
+	// Optional telemetry; all handles stay nil on an uninstrumented
+	// search so the hot loop pays only nil checks.
+	var itersC, propC, accC, rejC, invC *telemetry.Counter
+	var tempSeries, bestSeries *telemetry.Series
+	if cfg.Telemetry != nil {
+		itersC = cfg.Telemetry.Counter(MetricIterations)
+		propC = cfg.Telemetry.Counter(MetricProposals)
+		accC = cfg.Telemetry.Counter(MetricAccepted)
+		rejC = cfg.Telemetry.Counter(MetricRejected)
+		invC = cfg.Telemetry.Counter(MetricInvalid)
+		tempSeries = cfg.Telemetry.Series(SeriesTemperature)
+		bestSeries = cfg.Telemetry.Series(SeriesBestObjective)
+	}
+	step := 0
+	finalTemp := cfg.InitTemp
+
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		span := cfg.Tracer.StartSpan("placement.restart")
 		r := rng.StreamN("restart", restart)
 		cur, err := cluster.RandomValidLimit(r.Stream("init"), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
 		if err != nil {
@@ -266,6 +311,12 @@ func Search(req Request, cfg Config) (Result, error) {
 		slots := req.NumHosts * req.SlotsPerHost
 		for it := 0; it < cfg.Iterations; it++ {
 			temp *= cfg.CoolRate
+			step++
+			if itersC != nil {
+				itersC.Inc()
+				tempSeries.Append(float64(step), temp)
+				bestSeries.Append(float64(step), best.Objective)
+			}
 			// Propose: swap two slots holding different contents.
 			a := r.Intn(slots)
 			b := r.Intn(slots)
@@ -279,6 +330,9 @@ func Search(req Request, cfg Config) (Result, error) {
 				return Result{}, err
 			}
 			if cand.Validate() != nil {
+				if invC != nil {
+					invC.Inc()
+				}
 				continue
 			}
 			candObj, candEnergy, candPred, err := evaluate(cand, req, cfg.QoS)
@@ -286,18 +340,37 @@ func Search(req Request, cfg Config) (Result, error) {
 				return Result{}, err
 			}
 			evals++
+			if propC != nil {
+				propC.Inc()
+			}
 			delta := sign * (candEnergy - curEnergy)
 			accept := delta <= 0
 			if !accept && cfg.Method == Anneal {
 				accept = r.Float64() < math.Exp(-delta/math.Max(temp, 1e-9))
 			}
 			if accept {
+				if accC != nil {
+					accC.Inc()
+				}
 				cur, curObj, curEnergy, curPred = cand, candObj, candEnergy, candPred
 				consider(cur, curObj, curPred)
+			} else if rejC != nil {
+				rejC.Inc()
 			}
 		}
+		finalTemp = temp
+		span.End()
 	}
 	best.Evaluations = evals
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Counter(MetricRestarts).Add(uint64(cfg.Restarts))
+		cfg.Telemetry.Counter(MetricEvaluations).Add(uint64(evals))
+		cfg.Telemetry.Gauge(MetricBestObjective).Set(best.Objective)
+		cfg.Telemetry.Gauge(MetricFinalTemp).Set(finalTemp)
+		if p := propC.Value(); p > 0 {
+			cfg.Telemetry.Gauge(MetricAcceptanceRate).Set(float64(accC.Value()) / float64(p))
+		}
+	}
 	return best, nil
 }
 

@@ -1,0 +1,122 @@
+package placement
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// searchWithTelemetry runs one instrumented search and returns the
+// registry snapshot alongside the result.
+func searchWithTelemetry(t *testing.T, seed int64) (Result, telemetry.Snapshot) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cfg := DefaultConfig(seed)
+	cfg.Iterations = 300
+	cfg.Telemetry = reg
+	res, err := Search(testRequest(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, reg.Snapshot()
+}
+
+// TestSearchTelemetryDeterministic is the regression test the issue asks
+// for: for a fixed seed, the acceptance counters and the best-objective
+// convergence trace must be bit-identical across runs — attaching
+// telemetry must never perturb (or be perturbed by) the search trajectory.
+func TestSearchTelemetryDeterministic(t *testing.T) {
+	resA, snapA := searchWithTelemetry(t, 7)
+	resB, snapB := searchWithTelemetry(t, 7)
+
+	if resA.Objective != resB.Objective {
+		t.Fatalf("search itself is nondeterministic: %v vs %v", resA.Objective, resB.Objective)
+	}
+	for _, name := range []string{
+		MetricIterations, MetricProposals, MetricAccepted, MetricRejected, MetricInvalid,
+	} {
+		if snapA.Counters[name] != snapB.Counters[name] {
+			t.Errorf("%s differs across identical runs: %d vs %d",
+				name, snapA.Counters[name], snapB.Counters[name])
+		}
+	}
+	if snapA.Gauges[MetricAcceptanceRate] != snapB.Gauges[MetricAcceptanceRate] {
+		t.Errorf("acceptance rate differs: %v vs %v",
+			snapA.Gauges[MetricAcceptanceRate], snapB.Gauges[MetricAcceptanceRate])
+	}
+	a, b := snapA.Series[SeriesBestObjective], snapB.Series[SeriesBestObjective]
+	if len(a) != len(b) {
+		t.Fatalf("best-objective trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("best-objective trace diverges at point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	// The whole snapshot must therefore serialize identically.
+	ja, err := json.Marshal(snapA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(snapB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Error("full telemetry snapshots differ across identical runs")
+	}
+}
+
+// TestSearchTelemetryShape checks the recorded telemetry is internally
+// consistent: one trace sample per annealing iteration (i.e. per
+// temperature step), accepted+rejected <= proposals, and a final best
+// objective matching the returned result.
+func TestSearchTelemetryShape(t *testing.T) {
+	res, snap := searchWithTelemetry(t, 11)
+
+	iters := snap.Counters[MetricIterations]
+	if iters == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	if got := uint64(len(snap.Series[SeriesBestObjective])); got != iters {
+		t.Errorf("best-objective trace has %d points, want one per iteration (%d)", got, iters)
+	}
+	if got := uint64(len(snap.Series[SeriesTemperature])); got != iters {
+		t.Errorf("temperature trace has %d points, want one per iteration (%d)", got, iters)
+	}
+	acc, rej := snap.Counters[MetricAccepted], snap.Counters[MetricRejected]
+	if acc+rej > snap.Counters[MetricProposals] {
+		t.Errorf("accepted (%d) + rejected (%d) exceeds proposals (%d)",
+			acc, rej, snap.Counters[MetricProposals])
+	}
+	if got := snap.Gauges[MetricBestObjective]; got != res.Objective {
+		t.Errorf("best-objective gauge = %v, want the result objective %v", got, res.Objective)
+	}
+	// The temperature schedule must be non-increasing within each restart;
+	// globally it restarts, so just check the first few points decrease.
+	temps := snap.Series[SeriesTemperature]
+	if len(temps) >= 2 && temps[1].Y >= temps[0].Y {
+		t.Errorf("temperature did not cool: %v then %v", temps[0].Y, temps[1].Y)
+	}
+}
+
+// TestSearchWithoutTelemetryUnchanged pins that the nil-telemetry path
+// returns exactly the same result as the instrumented one.
+func TestSearchWithoutTelemetryUnchanged(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Iterations = 300
+	plain, err := Search(testRequest(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, _ := searchWithTelemetry(t, 7)
+	if plain.Objective != instr.Objective {
+		t.Errorf("telemetry perturbed the search: %v vs %v", plain.Objective, instr.Objective)
+	}
+	if plain.Evaluations != instr.Evaluations {
+		t.Errorf("telemetry changed evaluation count: %d vs %d", plain.Evaluations, instr.Evaluations)
+	}
+}

@@ -19,6 +19,9 @@ type Result struct {
 	Matrix   *Matrix
 	Measured int // profiling runs performed
 	Total    int // measurable settings: pressures * nodes (column 0 is free)
+	// Provenance tallies the measurable cells by how they were filled
+	// (measured / interpolated / inferred) — see Matrix.ProvenanceCounts.
+	Provenance map[string]int
 }
 
 // CostPct returns the percentage of settings actually measured (the
@@ -84,7 +87,7 @@ func FullBrute(m Measurer, pressures, nodes int) (Result, error) {
 			}
 		}
 	}
-	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes, Provenance: mat.ProvenanceCounts()}, nil
 }
 
 // binaryRow recursively fills row i between columns lo and hi: when the
@@ -135,24 +138,42 @@ func binaryCol(c *counter, mat *Matrix, j, lo, hi int, eps float64) error {
 	return binaryCol(c, mat, j, mid, hi, eps)
 }
 
-// interpolateRow linearly fills the unmeasured cells of row i.
+// interpolateRow linearly fills the unmeasured cells of row i, marking
+// them Interpolated.
 func interpolateRow(mat *Matrix, i int) error {
 	row := mat.cells[i]
-	_, err := stats.FillLinear(row)
-	return err
+	wasNaN := make([]bool, len(row))
+	for j, v := range row {
+		wasNaN[j] = math.IsNaN(v)
+	}
+	if _, err := stats.FillLinear(row); err != nil {
+		return err
+	}
+	for j, was := range wasNaN {
+		if was {
+			mat.prov[i][j] = Interpolated
+		}
+	}
+	return nil
 }
 
-// interpolateCol linearly fills the unmeasured cells of column j.
+// interpolateCol linearly fills the unmeasured cells of column j, marking
+// them Interpolated.
 func interpolateCol(mat *Matrix, j int) error {
 	col := make([]float64, mat.Pressures)
+	wasNaN := make([]bool, mat.Pressures)
 	for i := range col {
 		col[i] = mat.cells[i][j]
+		wasNaN[i] = math.IsNaN(col[i])
 	}
 	if _, err := stats.FillLinear(col); err != nil {
 		return err
 	}
 	for i := range col {
 		mat.cells[i][j] = col[i]
+		if wasNaN[i] {
+			mat.prov[i][j] = Interpolated
+		}
 	}
 	return nil
 }
@@ -184,7 +205,7 @@ func BinaryBrute(m Measurer, pressures, nodes int, eps float64) (Result, error) 
 			return Result{}, err
 		}
 	}
-	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes, Provenance: mat.ProvenanceCounts()}, nil
 }
 
 // BinaryOptimized is the paper's Algorithm 2: profile only the top-pressure
@@ -246,12 +267,12 @@ func BinaryOptimized(m Measurer, pressures, nodes int, eps float64) (Result, err
 			if v < 1 {
 				v = 1
 			}
-			if err := mat.Set(i, j, v); err != nil {
+			if err := mat.SetProv(i, j, v, Inferred); err != nil {
 				return Result{}, err
 			}
 		}
 	}
-	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes, Provenance: mat.ProvenanceCounts()}, nil
 }
 
 // RandomFrac is the paper's random-k% baseline: measure a random fraction
@@ -309,5 +330,5 @@ func RandomFrac(m Measurer, pressures, nodes int, frac float64, rng *sim.RNG) (R
 			return Result{}, err
 		}
 	}
-	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes}, nil
+	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes, Provenance: mat.ProvenanceCounts()}, nil
 }

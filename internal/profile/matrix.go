@@ -13,6 +13,37 @@ import (
 	"repro/internal/stats"
 )
 
+// Provenance records how a matrix cell got its value — the profiling
+// algorithms' per-cell audit trail.
+type Provenance uint8
+
+// Cell provenance kinds.
+const (
+	Unset        Provenance = iota // still NaN
+	Free                           // column 0, fixed at 1 by definition
+	Measured                       // a profiling run was spent on it
+	Interpolated                   // linearly filled between measurements
+	Inferred                       // product-formula inference (Algorithm 2)
+)
+
+// String names the provenance kind.
+func (p Provenance) String() string {
+	switch p {
+	case Unset:
+		return "unset"
+	case Free:
+		return "free"
+	case Measured:
+		return "measured"
+	case Interpolated:
+		return "interpolated"
+	case Inferred:
+		return "inferred"
+	default:
+		return fmt.Sprintf("Provenance(%d)", int(p))
+	}
+}
+
 // Matrix is the propagation matrix: At(i, j) is the execution time of the
 // application, normalized to its uninterfered run, when j of its nodes
 // carry a co-located bubble at pressure i+1. Column 0 is by definition 1.
@@ -20,6 +51,7 @@ type Matrix struct {
 	Pressures int // number of bubble levels (rows), pressure i+1 per row i
 	Nodes     int // number of hosts m (columns 0..m)
 	cells     [][]float64
+	prov      [][]Provenance
 }
 
 // NewMatrix returns a matrix with every measurable cell unset (NaN) and
@@ -29,18 +61,27 @@ func NewMatrix(pressures, nodes int) (*Matrix, error) {
 		return nil, errors.New("profile: non-positive matrix dimensions")
 	}
 	cells := make([][]float64, pressures)
+	prov := make([][]Provenance, pressures)
 	for i := range cells {
 		cells[i] = make([]float64, nodes+1)
+		prov[i] = make([]Provenance, nodes+1)
 		for j := range cells[i] {
 			cells[i][j] = math.NaN()
 		}
 		cells[i][0] = 1
+		prov[i][0] = Free
 	}
-	return &Matrix{Pressures: pressures, Nodes: nodes, cells: cells}, nil
+	return &Matrix{Pressures: pressures, Nodes: nodes, cells: cells, prov: prov}, nil
 }
 
-// Set stores a normalized time for (pressure row i, interfering nodes j).
+// Set stores a measured normalized time for (pressure row i, interfering
+// nodes j), marking the cell Measured.
 func (m *Matrix) Set(i, j int, v float64) error {
+	return m.SetProv(i, j, v, Measured)
+}
+
+// SetProv stores a normalized time with an explicit provenance.
+func (m *Matrix) SetProv(i, j int, v float64, p Provenance) error {
 	if i < 0 || i >= m.Pressures || j < 0 || j > m.Nodes {
 		return fmt.Errorf("profile: cell (%d,%d) out of range", i, j)
 	}
@@ -48,7 +89,28 @@ func (m *Matrix) Set(i, j int, v float64) error {
 		return fmt.Errorf("profile: invalid normalized time %v", v)
 	}
 	m.cells[i][j] = v
+	m.prov[i][j] = p
 	return nil
+}
+
+// CellProvenance reports how cell (i, j) was filled.
+func (m *Matrix) CellProvenance(i, j int) Provenance {
+	if i < 0 || i >= m.Pressures || j < 0 || j > m.Nodes {
+		return Unset
+	}
+	return m.prov[i][j]
+}
+
+// ProvenanceCounts tallies the measurable cells (columns >= 1) by how they
+// were filled — the per-cell cost audit of the profiling algorithms.
+func (m *Matrix) ProvenanceCounts() map[string]int {
+	out := map[string]int{}
+	for i := range m.prov {
+		for j := 1; j < len(m.prov[i]); j++ {
+			out[m.prov[i][j].String()]++
+		}
+	}
+	return out
 }
 
 // Cell returns the stored value for (i, j); NaN when unset.
@@ -137,6 +199,7 @@ func (m *Matrix) Clone() *Matrix {
 	c, _ := NewMatrix(m.Pressures, m.Nodes)
 	for i := range m.cells {
 		copy(c.cells[i], m.cells[i])
+		copy(c.prov[i], m.prov[i])
 	}
 	return c
 }

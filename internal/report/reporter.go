@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Reporter routes a command-line tool's human-readable output through one
+// buffered channel: key-value pairs are aligned with a tabwriter, tables
+// render as usual, and nothing reaches the underlying writer until Flush.
+// Buffering until Flush guarantees the human output never interleaves with
+// machine output (metrics/trace files, progress on stderr) emitted while
+// the tool runs.
+type Reporter struct {
+	out  io.Writer
+	segs []segment
+}
+
+// segment is either a run of KV lines (aligned together) or literal text.
+type segment struct {
+	kv      []string
+	literal string
+}
+
+// NewReporter buffers output destined for out.
+func NewReporter(out io.Writer) *Reporter {
+	return &Reporter{out: out}
+}
+
+// KV records one aligned key-value line. Consecutive KV calls form one
+// alignment group; any Table or Printf in between starts a new group.
+func (r *Reporter) KV(key, format string, args ...any) {
+	line := key + "\t" + fmt.Sprintf(format, args...)
+	if n := len(r.segs); n > 0 && r.segs[n-1].kv != nil {
+		r.segs[n-1].kv = append(r.segs[n-1].kv, line)
+		return
+	}
+	r.segs = append(r.segs, segment{kv: []string{line}})
+}
+
+// Printf records literal text (no alignment, no implicit newline).
+func (r *Reporter) Printf(format string, args ...any) {
+	r.segs = append(r.segs, segment{literal: fmt.Sprintf(format, args...)})
+}
+
+// Blank records an empty line.
+func (r *Reporter) Blank() { r.Printf("\n") }
+
+// Table records a rendered table followed by its trailing newline.
+func (r *Reporter) Table(t *Table) { r.Printf("%s", t.String()) }
+
+// Flush writes everything recorded so far and resets the reporter.
+func (r *Reporter) Flush() error {
+	for _, s := range r.segs {
+		if s.kv == nil {
+			if _, err := io.WriteString(r.out, s.literal); err != nil {
+				return err
+			}
+			continue
+		}
+		tw := tabwriter.NewWriter(r.out, 0, 4, 2, ' ', 0)
+		for _, line := range s.kv {
+			if _, err := fmt.Fprintln(tw, line); err != nil {
+				return err
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	r.segs = nil
+	return nil
+}

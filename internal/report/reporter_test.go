@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReporterAlignsKVGroups(t *testing.T) {
+	var sb strings.Builder
+	r := NewReporter(&sb)
+	r.KV("workload", "%s", "M.lmps")
+	r.KV("normalized time", "%.2f", 1.25)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	// Both values must start at the same column.
+	a, b := strings.Index(lines[0], "M.lmps"), strings.Index(lines[1], "1.25")
+	if a < 0 || b < 0 || a != b {
+		t.Errorf("values not aligned (cols %d vs %d):\n%s", a, b, sb.String())
+	}
+}
+
+func TestReporterSegmentsDoNotInterleave(t *testing.T) {
+	var sb strings.Builder
+	r := NewReporter(&sb)
+	r.KV("k", "%s", "v")
+	tb := NewTable("", "a", "b")
+	tb.MustAddRow("1", "2")
+	r.Table(tb)
+	r.KV("after", "%s", "table")
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	ki, ti, ai := strings.Index(out, "k "), strings.Index(out, "a "), strings.Index(out, "after")
+	if !(ki >= 0 && ki < ti && ti < ai) {
+		t.Errorf("segments out of order (kv=%d table=%d after=%d):\n%s", ki, ti, ai, out)
+	}
+	// The two KV groups align independently: "after" is longer than "k"
+	// but must not widen the first group's key column.
+	if !strings.HasPrefix(out, "k  v\n") {
+		t.Errorf("first group was widened by a later one:\n%q", out)
+	}
+}
+
+func TestReporterNothingBeforeFlush(t *testing.T) {
+	var sb strings.Builder
+	r := NewReporter(&sb)
+	r.KV("k", "%s", "v")
+	r.Printf("literal\n")
+	if sb.Len() != 0 {
+		t.Errorf("output reached the writer before Flush: %q", sb.String())
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Error("Flush wrote nothing")
+	}
+	sb.Reset()
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("second Flush repeated output: %q", sb.String())
+	}
+}

@@ -10,6 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Time is a simulated timestamp in seconds.
@@ -18,12 +21,53 @@ type Time float64
 // Engine is a discrete-event simulator. The zero value is not ready for
 // use; construct one with NewEngine.
 type Engine struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64 // tie-breaker; also counts scheduled events
-	fired  uint64
-	halted bool
+	now       Time
+	queue     eventHeap
+	seq       uint64 // tie-breaker; also counts scheduled events
+	fired     uint64
+	halted    bool
+	highWater int
+
+	// Telemetry handles, resolved once by Instrument; all nil when the
+	// engine is uninstrumented, which keeps the hot path branch-cheap.
+	scheduledC *telemetry.Counter
+	firedC     *telemetry.Counter
+	queueHW    *telemetry.Gauge
+	reg        *telemetry.Registry
+	kindHists  map[string]*telemetry.Histogram
 }
+
+// eventWallBuckets are the upper bounds (seconds) of the per-event-kind
+// wall-time histograms: 1µs up to ~65ms.
+var eventWallBuckets = telemetry.ExpBuckets(1e-6, 4, 9)
+
+// Instrument attaches a telemetry registry: the engine then maintains
+// MetricEventsScheduled, MetricEventsFired, and MetricQueueHighWater, and
+// times events scheduled through AtKind into per-kind wall-time
+// histograms. Passing nil detaches.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	e.reg = reg
+	if reg == nil {
+		e.scheduledC, e.firedC, e.queueHW, e.kindHists = nil, nil, nil, nil
+		return
+	}
+	e.scheduledC = reg.Counter(MetricEventsScheduled)
+	e.firedC = reg.Counter(MetricEventsFired)
+	e.queueHW = reg.Gauge(MetricQueueHighWater)
+	e.kindHists = map[string]*telemetry.Histogram{}
+}
+
+// Metric names maintained by an instrumented engine. The per-kind event
+// histograms are named Label(MetricEventWallSeconds, "kind", kind).
+const (
+	MetricEventsScheduled  = "sim_events_scheduled_total"
+	MetricEventsFired      = "sim_events_fired_total"
+	MetricQueueHighWater   = "sim_queue_high_water"
+	MetricEventWallSeconds = "sim_event_wall_seconds"
+)
+
+// QueueHighWater returns the deepest the event queue has ever been.
+func (e *Engine) QueueHighWater() int { return e.highWater }
 
 // NewEngine returns an empty engine whose clock starts at 0.
 func NewEngine() *Engine {
@@ -46,38 +90,78 @@ var ErrPastEvent = errors.New("sim: event scheduled in the past")
 // At schedules fn to run at absolute time t. Events at equal timestamps run
 // in scheduling order. Scheduling in the past is an error.
 func (e *Engine) At(t Time, fn func()) error {
+	return e.AtKind(t, "", fn)
+}
+
+// AtKind schedules fn like At and tags the event with a kind. On an
+// instrumented engine, events with a non-empty kind are wall-clock timed
+// into a per-kind histogram when they fire.
+func (e *Engine) AtKind(t Time, kind string, fn func()) error {
 	if t < e.now {
 		return fmt.Errorf("%w: at %v, now %v", ErrPastEvent, t, e.now)
 	}
 	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
 		return fmt.Errorf("sim: non-finite event time %v", t)
 	}
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, kind: kind, fn: fn})
 	e.seq++
+	if len(e.queue) > e.highWater {
+		e.highWater = len(e.queue)
+		if e.queueHW != nil {
+			e.queueHW.SetMax(float64(e.highWater))
+		}
+	}
+	if e.scheduledC != nil {
+		e.scheduledC.Inc()
+	}
 	return nil
 }
 
 // After schedules fn to run d seconds after the current time. Negative
 // delays are errors.
 func (e *Engine) After(d float64, fn func()) error {
+	return e.AfterKind(d, "", fn)
+}
+
+// AfterKind is After with an event kind, as AtKind is to At.
+func (e *Engine) AfterKind(d float64, kind string, fn func()) error {
 	if d < 0 {
 		return fmt.Errorf("%w: negative delay %v", ErrPastEvent, d)
 	}
-	return e.At(e.now+Time(d), fn)
+	return e.AtKind(e.now+Time(d), kind, fn)
 }
 
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
+
+// fire executes one event, updating counters and per-kind timing when the
+// engine is instrumented.
+func (e *Engine) fire(ev *event) {
+	e.now = ev.at
+	e.fired++
+	if e.firedC != nil {
+		e.firedC.Inc()
+		if ev.kind != "" {
+			h, ok := e.kindHists[ev.kind]
+			if !ok {
+				h = e.reg.Histogram(telemetry.Label(MetricEventWallSeconds, "kind", ev.kind), eventWallBuckets)
+				e.kindHists[ev.kind] = h
+			}
+			start := time.Now()
+			ev.fn()
+			h.Observe(time.Since(start).Seconds())
+			return
+		}
+	}
+	ev.fn()
+}
 
 // Run executes events until the queue is empty or Halt is called. It
 // returns the final simulated time.
 func (e *Engine) Run() Time {
 	e.halted = false
 	for len(e.queue) > 0 && !e.halted {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		e.fired++
-		ev.fn()
+		e.fire(heap.Pop(&e.queue).(*event))
 	}
 	return e.now
 }
@@ -90,10 +174,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if e.queue[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		e.fired++
-		ev.fn()
+		e.fire(heap.Pop(&e.queue).(*event))
 	}
 	if e.now < deadline && len(e.queue) > 0 && e.queue[0].at > deadline {
 		e.now = deadline
@@ -105,9 +186,10 @@ func (e *Engine) RunUntil(deadline Time) Time {
 func (e *Engine) Pending() int { return len(e.queue) }
 
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	kind string
+	fn   func()
 }
 
 type eventHeap []*event

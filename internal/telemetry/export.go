@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HistogramSnapshot is the exported state of one histogram. Bucket counts
+// are non-cumulative and the final entry is the +Inf bucket.
+type HistogramSnapshot struct {
+	Uppers []float64 `json:"uppers"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Maps
+// marshal with sorted keys, so the JSON form is deterministic for
+// deterministic metric values.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Series     map[string][]Sample          `json:"series,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Series:     map[string][]Sample{},
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	series := make(map[string]*Series, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
+	r.mu.RUnlock()
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = HistogramSnapshot{
+			Uppers: h.Uppers(), Counts: h.BucketCounts(), Count: h.Count(), Sum: h.Sum(),
+		}
+	}
+	for k, s := range series {
+		snap.Series[k] = s.Points()
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// splitName separates an optional Prometheus-style label block from a
+// metric name: "x_total{alg=\"b\"}" -> ("x_total", `alg="b"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// promName sanitizes a metric base name to the Prometheus charset.
+func promName(base string) string {
+	var b strings.Builder
+	for i, c := range base {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus writes counters, gauges, and histograms in the
+// Prometheus text exposition format. Series have no Prometheus equivalent
+// and are skipped (use the JSON exporter for them). Output is sorted by
+// metric name so it is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, name := range names {
+		base, labels := splitName(name)
+		base = promName(base)
+		if !typed[base] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+			typed[base] = true
+		}
+		full := base
+		if labels != "" {
+			full = base + "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", full, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitName(name)
+		base = promName(base)
+		if !typed[base] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+			typed[base] = true
+		}
+		full := base
+		if labels != "" {
+			full = base + "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", full, promFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		base, labels := splitName(name)
+		base = promName(base)
+		if !typed[base] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+			typed[base] = true
+		}
+		withLe := func(le string) string {
+			if labels == "" {
+				return fmt.Sprintf("%s_bucket{le=%q}", base, le)
+			}
+			return fmt.Sprintf("%s_bucket{%s,le=%q}", base, labels, le)
+		}
+		var cum uint64
+		for i, up := range h.Uppers {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLe(promFloat(up)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), cum); err != nil {
+			return err
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunReport snapshots one whole experiment run: tool identity, wall time,
+// the final metric state, and a summary of recorded spans. The cmd/ tools
+// write one to the path given by their -metrics flag.
+type RunReport struct {
+	Tool        string   `json:"tool"`
+	Args        []string `json:"args,omitempty"`
+	Seed        int64    `json:"seed"`
+	StartedAt   string   `json:"started_at"` // RFC 3339, UTC
+	WallSeconds float64  `json:"wall_seconds"`
+	Metrics     Snapshot `json:"metrics"`
+	SpansTotal  uint64   `json:"spans_total"`
+
+	started time.Time
+}
+
+// NewRunReport starts a report clocked from now.
+func NewRunReport(tool string, seed int64, args []string) *RunReport {
+	now := time.Now()
+	return &RunReport{
+		Tool:      tool,
+		Args:      args,
+		Seed:      seed,
+		StartedAt: now.UTC().Format(time.RFC3339),
+		started:   now,
+	}
+}
+
+// Finish stamps the wall duration and snapshots the registry and tracer
+// (either may be nil).
+func (r *RunReport) Finish(reg *Registry, tr *Tracer) {
+	r.WallSeconds = time.Since(r.started).Seconds()
+	if reg != nil {
+		r.Metrics = reg.Snapshot()
+	}
+	r.SpansTotal = tr.Total()
+}
+
+// TraceReport is the JSON document written to the -trace path: the spans
+// the ring buffer retained, oldest first.
+type TraceReport struct {
+	Tool     string       `json:"tool"`
+	Total    uint64       `json:"total"`    // spans ever recorded
+	Retained int          `json:"retained"` // spans surviving in the ring
+	Spans    []SpanRecord `json:"spans"`
+}
+
+// NewTraceReport snapshots a tracer.
+func NewTraceReport(tool string, tr *Tracer) TraceReport {
+	spans := tr.Spans()
+	return TraceReport{Tool: tool, Total: tr.Total(), Retained: len(spans), Spans: spans}
+}
+
+// Emit finalizes rep against reg and tr and writes the files the cmd/
+// tools' -metrics and -trace flags requested; empty paths are skipped.
+func Emit(rep *RunReport, reg *Registry, tr *Tracer, metricsPath, tracePath string) error {
+	rep.Finish(reg, tr)
+	if metricsPath != "" {
+		if err := WriteJSONFile(metricsPath, rep); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := WriteJSONFile(tracePath, NewTraceReport(rep.Tool, tr)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONFile writes v as indented JSON to path.
+func WriteJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenRegistry builds a registry with one metric of every kind, with
+// labeled and unlabeled variants, so the exporters' full surface is pinned.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("events_total").Add(42)
+	reg.Counter(Label("runs_total", "alg", "binary-optimized")).Add(7)
+	reg.Counter(Label("runs_total", "alg", "full-brute")).Add(3)
+	reg.Gauge("queue_high_water").Set(19)
+	reg.Gauge(Label("cost_pct", "workload", "M.milc")).Set(23.4)
+	h := reg.Histogram("run_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	hl := reg.Histogram(Label("run_seconds", "engine", "bsp"), []float64{1, 2})
+	hl.Observe(1.5)
+	s := reg.Series("best_objective_trace")
+	s.Append(1, 4.5)
+	s.Append(2, 4.1)
+	return reg
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update ./internal/telemetry`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "snapshot.golden.json"), buf.Bytes())
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "metrics.golden.prom"), buf.Bytes())
+}
+
+// TestJSONDeterministic re-encodes the same registry state twice and
+// demands byte equality — the determinism the placement regression test
+// builds on.
+func TestJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := goldenRegistry()
+	if err := reg.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two snapshots of the same state encode differently")
+	}
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	reg := goldenRegistry()
+	tr := NewTracer(4)
+	clk := &fixedClock{t: time.Unix(5000, 0), step: time.Millisecond}
+	tr.SetNow(clk.now)
+	tr.StartSpan("build").End()
+
+	rep := NewRunReport("placer", 2016, []string{"-apps", "M.milc"})
+	metrics := filepath.Join(t.TempDir(), "out.json")
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	if err := Emit(rep, reg, tr, metrics, trace); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if back.Tool != "placer" || back.Seed != 2016 {
+		t.Errorf("round trip lost identity: %+v", back)
+	}
+	if back.SpansTotal != 1 {
+		t.Errorf("SpansTotal = %d, want 1", back.SpansTotal)
+	}
+	if back.Metrics.Counters["events_total"] != 42 {
+		t.Errorf("counters did not survive the round trip: %v", back.Metrics.Counters)
+	}
+	if len(back.Metrics.Series["best_objective_trace"]) != 2 {
+		t.Errorf("series did not survive the round trip: %v", back.Metrics.Series)
+	}
+
+	rawT, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb TraceReport
+	if err := json.Unmarshal(rawT, &tb); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if tb.Total != 1 || tb.Retained != 1 || len(tb.Spans) != 1 {
+		t.Errorf("trace report = %+v, want one span", tb)
+	}
+	if tb.Spans[0].Name != "build" {
+		t.Errorf("span name = %q, want build", tb.Spans[0].Name)
+	}
+}
+
+// TestEmitSkipsEmptyPaths checks the flag-off path writes nothing.
+func TestEmitSkipsEmptyPaths(t *testing.T) {
+	rep := NewRunReport("x", 1, nil)
+	if err := Emit(rep, NewRegistry(), nil, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if rep.WallSeconds < 0 {
+		t.Error("negative wall time")
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	for _, tc := range []struct{ in, base, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x_total{alg="b"}`, "x_total", `alg="b"`},
+		{"weird{unclosed", "weird{unclosed", ""},
+	} {
+		base, labels := splitName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("splitName(%q) = (%q, %q), want (%q, %q)", tc.in, base, labels, tc.base, tc.labels)
+		}
+	}
+}

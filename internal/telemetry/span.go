@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span as stored in the tracer's ring buffer.
+// Wall time is measured with the real clock; SimSeconds is the simulated
+// duration the instrumented layer attributed to the span (0 when the layer
+// recorded none).
+type SpanRecord struct {
+	Name        string  `json:"name"`
+	Seq         uint64  `json:"seq"`           // 1-based global span number
+	StartWallNs int64   `json:"start_wall_ns"` // ns since the tracer was created
+	WallNs      int64   `json:"wall_ns"`       // wall-clock duration
+	SimSeconds  float64 `json:"sim_seconds,omitempty"`
+}
+
+// Tracer records spans into a fixed-capacity ring buffer: when full, the
+// oldest span is overwritten, so a long run keeps the most recent window
+// while Total() still reports how many spans were ever recorded. A nil
+// *Tracer is valid and records nothing.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	cap   int
+	next  int // overwrite position once the buffer is full
+	total uint64
+	epoch time.Time
+	now   func() time.Time
+}
+
+// DefaultSpanCapacity is the ring size used by the cmd/ tools.
+const DefaultSpanCapacity = 4096
+
+// NewTracer returns a tracer whose ring holds up to capacity spans;
+// non-positive capacities fall back to DefaultSpanCapacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	t := &Tracer{cap: capacity, now: time.Now}
+	t.epoch = t.now()
+	return t
+}
+
+// SetNow replaces the tracer's clock — a test hook for deterministic span
+// timestamps.
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.epoch = now()
+	t.mu.Unlock()
+}
+
+// Span is an in-flight span; finish it with End. A nil *Span is valid and
+// End on it is a no-op, so `defer tracer.StartSpan("x").End()` works with a
+// nil tracer.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	sim   float64
+}
+
+// StartSpan begins a span. Returns nil on a nil tracer.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	now := t.now()
+	t.mu.Unlock()
+	return &Span{t: t, name: name, start: now}
+}
+
+// SetSimSeconds attributes a simulated-time duration to the span.
+func (s *Span) SetSimSeconds(v float64) *Span {
+	if s != nil {
+		s.sim = v
+	}
+	return s
+}
+
+// End finishes the span and commits it to the ring buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := SpanRecord{
+		Name:        s.name,
+		StartWallNs: s.start.Sub(t.epoch).Nanoseconds(),
+		WallNs:      t.now().Sub(s.start).Nanoseconds(),
+		SimSeconds:  s.sim,
+	}
+	t.total++
+	rec.Seq = t.total
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, rec)
+		return
+	}
+	t.buf[t.next] = rec
+	t.next = (t.next + 1) % t.cap
+}
+
+// Total returns how many spans were ever recorded, including those the
+// ring has since overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans oldest-first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedClock advances a deterministic amount per call.
+type fixedClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fixedClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	clk := &fixedClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	tr.SetNow(clk.now)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		tr.StartSpan("s").End()
+	}
+	if got := tr.Total(); got != n {
+		t.Fatalf("Total = %d, want %d", got, n)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4 (the ring capacity)", len(spans))
+	}
+	// Oldest-first: the ring must retain exactly the last 4 spans, in order.
+	for i, sp := range spans {
+		wantSeq := uint64(n - 4 + i + 1)
+		if sp.Seq != wantSeq {
+			t.Errorf("span %d: Seq = %d, want %d", i, sp.Seq, wantSeq)
+		}
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartWallNs <= spans[i-1].StartWallNs {
+			t.Errorf("spans not oldest-first: start[%d]=%d <= start[%d]=%d",
+				i, spans[i].StartWallNs, i-1, spans[i-1].StartWallNs)
+		}
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	clk := &fixedClock{t: time.Unix(0, 0), step: time.Second}
+	tr.SetNow(clk.now)
+	tr.StartSpan("a").End()
+	tr.StartSpan("b").SetSimSeconds(2.5).End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Errorf("order = %q, %q; want a, b", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].SimSeconds != 2.5 {
+		t.Errorf("SimSeconds = %v, want 2.5", spans[1].SimSeconds)
+	}
+	// One clock tick between StartSpan and End.
+	if spans[0].WallNs != int64(time.Second) {
+		t.Errorf("WallNs = %d, want %d", spans[0].WallNs, int64(time.Second))
+	}
+}
+
+// TestNilTracerSafe locks in the contract every instrumented layer relies
+// on: a nil tracer (and the nil span it hands out) is inert.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.StartSpan("x").SetSimSeconds(1).End() // must not panic
+	if tr.Total() != 0 {
+		t.Error("nil tracer Total != 0")
+	}
+	if tr.Spans() != nil {
+		t.Error("nil tracer Spans != nil")
+	}
+	tr.SetNow(time.Now) // must not panic
+}
+
+func TestTracerCapacityFallback(t *testing.T) {
+	if tr := NewTracer(0); tr.cap != DefaultSpanCapacity {
+		t.Errorf("cap = %d, want DefaultSpanCapacity", tr.cap)
+	}
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench.sh — run the repository benchmarks and record ns/op per benchmark
+# in BENCH_telemetry.json at the repo root. Used to track the overhead of
+# the telemetry layer across changes: rerun after instrumentation work and
+# compare against the committed numbers (the budget is 5%).
+#
+# Usage:
+#   scripts/bench.sh                # quick pass (one iteration each)
+#   BENCHTIME=2s scripts/bench.sh   # steadier numbers
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${BENCHTIME:-1x}"
+out="${BENCH_OUT:-BENCH_telemetry.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchtime "$benchtime" -timeout 30m . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+  /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip the GOMAXPROCS suffix
+    names[++n] = name
+    iters[name] = $2
+    nsop[name] = $3
+  }
+  END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", benchtime
+    for (i = 1; i <= n; i++) {
+      name = names[i]
+      printf "    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s}%s\n", \
+        name, iters[name], nsop[name], (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out"
