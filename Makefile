@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race vet ci bench repro quick
+.PHONY: build test race vet ci bench repro quick run-daemon
 
 build:
 	go build ./...
@@ -31,3 +31,9 @@ repro:
 # A fast sanity pass over every experiment.
 quick:
 	go run ./cmd/paperrepro -quick
+
+# Start the long-running interference daemon with its observability plane
+# on :8080 (/metrics, /healthz, /readyz, /api/events, /debug/pprof/).
+# Ctrl-C drains the round in flight and writes interfd-report.json.
+run-daemon:
+	go run ./cmd/interfd -listen :8080

@@ -1,13 +1,40 @@
 #!/bin/sh
-# ci.sh — the repository's continuous-integration gate: vet, build, and
-# the full test suite with the race detector. Run it before every commit.
+# ci.sh — the repository's continuous-integration gate: vet, build
+# (including the interfd daemon and the benchdiff tool), the full test
+# suite with the race detector (which covers the observability-plane
+# handler tests in internal/obs and cmd/interfd), and the benchmark
+# regression gate. Run it before every commit.
 set -eu
 cd "$(dirname "$0")"
 
 echo "== go vet =="
 go vet ./...
-echo "== go build =="
+echo "== go build (all packages, cmd/interfd, cmd/benchdiff) =="
 go build ./...
-echo "== go test -race =="
+go build -o /dev/null ./cmd/interfd ./cmd/benchdiff
+echo "== go test -race (incl. internal/obs + cmd/interfd handler tests) =="
 go test -race ./...
+
+echo "== benchdiff gate =="
+# Self-check the gate itself: the committed baseline must pass against
+# itself and must demonstrably fail against the synthetic regression
+# fixture — otherwise the gate is broken and CI stops here.
+go run ./cmd/benchdiff -quiet BENCH_telemetry.json BENCH_telemetry.json
+if go run ./cmd/benchdiff -quiet BENCH_telemetry.json cmd/benchdiff/testdata/bench_regression.json >/dev/null 2>&1; then
+  echo "ci: benchdiff failed to flag the synthetic regression fixture" >&2
+  exit 1
+fi
+echo "benchdiff gate: baseline ok, synthetic regression correctly rejected"
+
+# With CI_BENCH=1 the gate also reruns the real benchmarks and compares
+# the fresh numbers against the committed baseline (slow; single-shot
+# -benchtime 1x numbers are noisy, hence the generous default threshold).
+if [ "${CI_BENCH:-0}" = "1" ]; then
+  echo "== benchdiff gate (live run) =="
+  fresh="$(mktemp)"
+  trap 'rm -f "$fresh"' EXIT
+  BENCH_OUT="$fresh" ./scripts/bench.sh >/dev/null
+  go run ./cmd/benchdiff -threshold "${BENCH_THRESHOLD:-50}" BENCH_telemetry.json "$fresh"
+fi
+
 echo "ci: all checks passed"

@@ -1,0 +1,147 @@
+// Command benchdiff compares two BENCH_*.json files produced by
+// scripts/bench.sh and fails (exit 1) when any benchmark regressed past a
+// ns/op threshold — the gate that makes the repository's benchmark
+// trajectory block CI instead of just accumulating.
+//
+// Examples:
+//
+//	benchdiff BENCH_telemetry.json BENCH_new.json
+//	benchdiff -threshold 10 old.json new.json
+//	benchdiff -allow-missing old.json new.json
+//
+// The default threshold is generous (25%) because scripts/bench.sh's
+// default -benchtime 1x numbers are single-iteration samples; tighten it
+// when comparing BENCHTIME=2s runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// benchFile mirrors the JSON scripts/bench.sh writes.
+type benchFile struct {
+	Benchtime  string                `json:"benchtime"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// diff is the comparison of one benchmark present in both files.
+type diff struct {
+	Name     string
+	Old, New float64
+	Ratio    float64 // New/Old
+}
+
+// compare pairs the two files' benchmarks. Benchmarks only in one file
+// are returned separately; regressions are diffs whose ratio exceeds
+// 1 + threshold/100.
+func compare(old, new benchFile, thresholdPct float64) (diffs []diff, regressions []diff, onlyOld, onlyNew []string) {
+	for name, o := range old.Benchmarks {
+		n, ok := new.Benchmarks[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		d := diff{Name: name, Old: o.NsPerOp, New: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Ratio = n.NsPerOp / o.NsPerOp
+		}
+		diffs = append(diffs, d)
+		if d.Ratio > 1+thresholdPct/100 {
+			regressions = append(regressions, d)
+		}
+	}
+	for name := range new.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Ratio > diffs[j].Ratio })
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Ratio > regressions[j].Ratio })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return diffs, regressions, onlyOld, onlyNew
+}
+
+func load(path string) (benchFile, error) {
+	var bf benchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return bf, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return bf, nil
+}
+
+func main() {
+	var (
+		threshold    = flag.Float64("threshold", 25, "fail when new ns/op exceeds old by more than this percentage")
+		allowMissing = flag.Bool("allow-missing", false, "tolerate benchmarks present in only one file")
+		quiet        = flag.Bool("quiet", false, "print only regressions")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldBF, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newBF, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	diffs, regressions, onlyOld, onlyNew := compare(oldBF, newBF, *threshold)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if !*quiet {
+		fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tratio\n")
+		for _, d := range diffs {
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.3f\n", d.Name, d.Old, d.New, d.Ratio)
+		}
+		w.Flush()
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s missing from %s\n", name, flag.Arg(1))
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s new in %s\n", name, flag.Arg(1))
+	}
+	if len(onlyOld) > 0 && !*allowMissing {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d benchmark(s) disappeared (use -allow-missing to tolerate)\n", len(onlyOld))
+		os.Exit(1)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d regression(s) above %.0f%%:\n", len(regressions), *threshold)
+		for _, d := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns/op (%.2fx)\n", d.Name, d.Old, d.New, d.Ratio)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok — %d benchmark(s) within %.0f%% of %s\n", len(diffs), *threshold, flag.Arg(0))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func file(entries map[string]float64) benchFile {
+	bf := benchFile{Benchtime: "1x", Benchmarks: map[string]benchEntry{}}
+	for name, ns := range entries {
+		bf.Benchmarks[name] = benchEntry{Iterations: 1, NsPerOp: ns}
+	}
+	return bf
+}
+
+func TestCompareIdentityPasses(t *testing.T) {
+	bf := file(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 2000})
+	diffs, regressions, onlyOld, onlyNew := compare(bf, bf, 25)
+	if len(diffs) != 2 || len(regressions) != 0 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Errorf("identity compare: diffs=%d regressions=%d onlyOld=%v onlyNew=%v",
+			len(diffs), len(regressions), onlyOld, onlyNew)
+	}
+	for _, d := range diffs {
+		if d.Ratio != 1 {
+			t.Errorf("%s ratio = %v, want 1", d.Name, d.Ratio)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := file(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 2000})
+	regressed := file(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 3000})
+	_, regressions, _, _ := compare(old, regressed, 25)
+	if len(regressions) != 1 || regressions[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want BenchmarkB only", regressions)
+	}
+	if got := regressions[0].Ratio; got != 1.5 {
+		t.Errorf("ratio = %v, want 1.5", got)
+	}
+	// Just inside the threshold: no regression.
+	within := file(map[string]float64{"BenchmarkA": 124, "BenchmarkB": 2000})
+	if _, r, _, _ := compare(old, within, 25); len(r) != 0 {
+		t.Errorf("within-threshold run flagged: %+v", r)
+	}
+}
+
+func TestCompareTracksMissingAndNew(t *testing.T) {
+	old := file(map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 50})
+	new := file(map[string]float64{"BenchmarkA": 100, "BenchmarkFresh": 10})
+	_, _, onlyOld, onlyNew := compare(old, new, 25)
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkFresh" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+// TestRegressionFixtureAgainstCommitted pins the ci.sh gate: the committed
+// BENCH_telemetry.json compared against the synthetic regression fixture
+// must produce regressions, and against itself must not.
+func TestRegressionFixtureAgainstCommitted(t *testing.T) {
+	committed, err := load(filepath.Join("..", "..", "BENCH_telemetry.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture, err := load(filepath.Join("testdata", "bench_regression.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, r, _, _ := compare(committed, committed, 25); len(r) != 0 {
+		t.Errorf("self-compare produced regressions: %+v", r)
+	}
+	_, r, onlyOld, _ := compare(committed, fixture, 25)
+	if len(r) == 0 {
+		t.Error("regression fixture produced no regressions — the CI gate would pass it")
+	}
+	if len(onlyOld) != 0 {
+		t.Errorf("fixture dropped benchmarks: %v", onlyOld)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchtime":"1x","benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(empty); err == nil {
+		t.Error("loaded a file with no benchmarks")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Error("loaded invalid JSON")
+	}
+	if _, err := load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("loaded a nonexistent file")
+	}
+	good := filepath.Join(dir, "good.json")
+	raw, _ := json.Marshal(file(map[string]float64{"BenchmarkA": 1}))
+	if err := os.WriteFile(good, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(good); err != nil {
+		t.Errorf("rejected a valid file: %v", err)
+	}
+}

@@ -1,0 +1,336 @@
+// Command interfd is the long-running interference-management daemon: it
+// profiles a workload mix once at startup, then drives a continuous stream
+// of scheduling rounds — each round draws a fresh Poisson job stream, runs
+// a placement-search sweep for the current mix, and executes the stream
+// through the online cluster manager on the ground-truth simulator — while
+// serving the live observability plane (Prometheus /metrics, health and
+// readiness probes, /api/report, /api/spans, an SSE event stream, and
+// pprof) the whole time.
+//
+// SIGINT/SIGTERM shut it down gracefully: the in-flight round drains, a
+// final RunReport is written to -report, and the HTTP plane stops.
+//
+// Examples:
+//
+//	interfd -listen :8080
+//	interfd -listen :8080 -policy pack-first -rounds 10 -report -
+//	curl localhost:8080/readyz; curl localhost:8080/metrics
+//	curl -N localhost:8080/api/events
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/schedule"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+
+	interference "repro"
+)
+
+// daemonConfig collects every tunable of the daemon loop so tests can run
+// it in-process.
+type daemonConfig struct {
+	listen           string
+	seed             int64
+	policy           schedule.Policy
+	mix              []string
+	units            int
+	hosts, slots     int
+	jobUnits         int
+	batch            int
+	rounds           int // 0 = run until the context is cancelled
+	meanInterarrival float64
+	workMin, workMax float64
+	qosFraction      float64
+	qosBound         float64
+	samples          int // heterogeneity samples per model build
+	searchIters      int // placement-search iterations per round
+	seriesCap        int // retained points per convergence series
+	roundPause       time.Duration
+	reportPath       string
+	tracePath        string
+
+	// notifyAddr, when non-nil, receives the bound listen address once
+	// the plane is up (test hook).
+	notifyAddr func(string)
+}
+
+func defaultDaemonConfig() daemonConfig {
+	return daemonConfig{
+		listen: ":8080", seed: 1,
+		policy: schedule.ModelDriven,
+		mix:    []string{"M.lmps", "C.libq", "H.KM", "N.cg"},
+		units:  4, hosts: 8, slots: 2,
+		jobUnits: 2, batch: 10, rounds: 0,
+		meanInterarrival: 30, workMin: 20, workMax: 90,
+		qosFraction: 0.25, qosBound: 1.25,
+		samples: 15, searchIters: 600, seriesCap: 4096,
+		roundPause: 0,
+		reportPath: "interfd-report.json",
+	}
+}
+
+func main() {
+	cfg := defaultDaemonConfig()
+	var (
+		listen    = flag.String("listen", cfg.listen, "observability plane address (/metrics, /healthz, /readyz, /api/*, /debug/pprof/)")
+		seed      = flag.Int64("seed", cfg.seed, "experiment seed")
+		policyStr = flag.String("policy", cfg.policy.String(), "scheduling policy: model-driven, random-fit, pack-first")
+		mixCSV    = flag.String("mix", strings.Join(cfg.mix, ","), "comma-separated workload mix to profile and stream")
+		jobUnits  = flag.Int("job-units", cfg.jobUnits, "units per streamed job")
+		batch     = flag.Int("batch", cfg.batch, "jobs per scheduling round")
+		rounds    = flag.Int("rounds", cfg.rounds, "rounds to run (0 = until SIGINT/SIGTERM)")
+		interarr  = flag.Float64("mean-interarrival", cfg.meanInterarrival, "Poisson mean gap between job arrivals, simulated seconds")
+		qosFrac   = flag.Float64("qos-fraction", cfg.qosFraction, "fraction of jobs carrying a QoS bound")
+		qosBound  = flag.Float64("qos-bound", cfg.qosBound, "QoS bound on normalized execution time")
+		samples   = flag.Int("profile-samples", cfg.samples, "heterogeneity samples per startup model build")
+		iters     = flag.Int("search-iters", cfg.searchIters, "placement-search iterations per round")
+		pause     = flag.Duration("round-pause", cfg.roundPause, "wall-clock pause between rounds")
+		report    = flag.String("report", cfg.reportPath, "write the final JSON RunReport to this file ('-' for stdout)")
+		trace     = flag.String("trace", "", "write recorded spans as JSON to this file at exit ('-' for stdout)")
+		logFormat = flag.String("log-format", obs.LogText, "log format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	logger, err := obs.FlagLogger(*logFormat, *logLevel, "interfd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "interfd:", err)
+		os.Exit(1)
+	}
+
+	cfg.listen, cfg.seed, cfg.mix = *listen, *seed, strings.Split(*mixCSV, ",")
+	cfg.jobUnits, cfg.batch, cfg.rounds = *jobUnits, *batch, *rounds
+	cfg.meanInterarrival, cfg.qosFraction, cfg.qosBound = *interarr, *qosFrac, *qosBound
+	cfg.samples, cfg.searchIters, cfg.roundPause = *samples, *iters, *pause
+	cfg.reportPath, cfg.tracePath = *report, *trace
+	switch *policyStr {
+	case schedule.ModelDriven.String():
+		cfg.policy = schedule.ModelDriven
+	case schedule.RandomFit.String():
+		cfg.policy = schedule.RandomFit
+	case schedule.PackFirst.String():
+		cfg.policy = schedule.PackFirst
+	default:
+		logger.Error("unknown policy", "policy", *policyStr)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runDaemon(ctx, cfg, logger); err != nil {
+		logger.Error("daemon failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// runDaemon is the whole daemon lifecycle: observability plane up, models
+// built, readiness flipped, round loop until ctx cancels or the round
+// budget is spent, then graceful drain and the final report.
+func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	telemetry.RegisterBuildInfo(reg)
+	bus := obs.NewBus(obs.DefaultBusBuffer)
+	runReport := telemetry.NewRunReport("interfd", cfg.seed, os.Args[1:])
+
+	srv := obs.New(obs.Options{
+		Registry: reg, Tracer: tracer, Bus: bus, Report: runReport, Logger: logger,
+	})
+	running, err := srv.Start(cfg.listen)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := running.Shutdown(shutCtx); err != nil {
+			logger.Warn("plane shutdown", "err", err)
+		}
+	}()
+	if cfg.notifyAddr != nil {
+		cfg.notifyAddr(running.Addr)
+	}
+
+	// Startup profiling: one interference model per mix workload. The
+	// daemon is alive (/healthz) but not ready (/readyz 503) until every
+	// model is built.
+	env, err := interference.NewPrivateClusterEnv(cfg.seed)
+	if err != nil {
+		return err
+	}
+	env.Telemetry = reg
+	env.Tracer = tracer
+
+	preds := map[string]core.Predictor{}
+	scores := map[string]float64{}
+	mixWorkloads := make([]workloads.Workload, 0, len(cfg.mix))
+	bcfg := interference.DefaultBuildConfig()
+	bcfg.Samples = cfg.samples
+	bcfg.Seed = cfg.seed
+	bcfg.Telemetry = reg
+	bcfg.Tracer = tracer
+	for _, raw := range cfg.mix {
+		name := strings.TrimSpace(raw)
+		w, err := interference.WorkloadByName(name)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		m, err := interference.BuildModel(env, w, bcfg)
+		if err != nil {
+			return fmt.Errorf("interfd: model for %s: %w", name, err)
+		}
+		obs.WithSpan(logger, "core.build-model/"+name, tracer.Total()).
+			Info("model built", "workload", name, "bubble_score", m.BubbleScore,
+				"wall", time.Since(t0).Round(time.Millisecond).String())
+		preds[name] = m
+		scores[name] = m.BubbleScore
+		mixWorkloads = append(mixWorkloads, w)
+		if ctx.Err() != nil {
+			logger.Info("shutdown during startup profiling")
+			return telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath)
+		}
+	}
+	srv.SetReady(true)
+	logger.Info("ready", "addr", running.Addr, "policy", cfg.policy.String(),
+		"mix", strings.Join(cfg.mix, ","))
+
+	roundsC := reg.Counter("interfd_rounds_total")
+	roundSecs := reg.Histogram("interfd_round_wall_seconds", telemetry.ExpBuckets(0.01, 2, 12))
+	uptime := reg.Gauge("interfd_uptime_seconds")
+	start := time.Now()
+
+	spec := schedule.StreamSpec{
+		MeanInterarrival: cfg.meanInterarrival,
+		Jobs:             cfg.batch,
+		Units:            cfg.jobUnits,
+		WorkMin:          cfg.workMin,
+		WorkMax:          cfg.workMax,
+		QoSFraction:      cfg.qosFraction,
+		QoSBound:         cfg.qosBound,
+	}
+	for _, w := range mixWorkloads {
+		spec.Mix = append(spec.Mix, schedule.MixEntry{Workload: w, Weight: 1})
+	}
+
+	for round := 0; cfg.rounds == 0 || round < cfg.rounds; round++ {
+		if ctx.Err() != nil {
+			logger.Info("draining complete, shutting down", "rounds", round)
+			break
+		}
+		t0 := time.Now()
+		if err := runRound(cfg, round, env, preds, scores, spec, reg, tracer, bus, logger); err != nil {
+			return err
+		}
+		roundsC.Inc()
+		roundSecs.Observe(time.Since(t0).Seconds())
+		uptime.Set(time.Since(start).Seconds())
+		// Convergence series are append-only; cap them so a long-running
+		// daemon's registry (and /api/report) stays bounded.
+		reg.TrimSeries(cfg.seriesCap)
+		bus.Publish("round_done", map[string]any{
+			"round": round, "wall_seconds": time.Since(t0).Seconds(),
+		})
+		if cfg.roundPause > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(cfg.roundPause):
+			}
+		}
+	}
+
+	srv.SetReady(false)
+	if err := telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath); err != nil {
+		return err
+	}
+	logger.Info("final report written", "path", cfg.reportPath,
+		"rounds", roundsC.Value(), "spans", tracer.Total())
+	return nil
+}
+
+// runRound performs one scheduling round: a placement-search sweep over
+// the full mix (streaming convergence samples to the bus), then a fresh
+// Poisson job stream through the online cluster manager (streaming job
+// lifecycle events).
+func runRound(cfg daemonConfig, round int, env *interference.Env,
+	preds map[string]core.Predictor, scores map[string]float64,
+	spec schedule.StreamSpec, reg *telemetry.Registry, tracer *telemetry.Tracer,
+	bus *obs.Bus, logger *slog.Logger) error {
+
+	span := tracer.StartSpan(fmt.Sprintf("interfd.round/%d", round))
+	defer span.End()
+
+	// Placement-search sweep: the reference "best consolidation" of the
+	// current mix, recomputed with a round-specific seed so the stream of
+	// convergence samples keeps moving.
+	names := make([]string, 0, len(preds))
+	for name := range preds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	demands := make([]cluster.Demand, 0, len(names))
+	for _, name := range names {
+		demands = append(demands, cluster.Demand{App: name, Units: cfg.units})
+	}
+	req := placement.Request{
+		NumHosts: cfg.hosts, SlotsPerHost: cfg.slots,
+		Demands: demands, Predictors: preds, Scores: scores,
+	}
+	pcfg := placement.DefaultConfig(cfg.seed + int64(round))
+	pcfg.Iterations = cfg.searchIters
+	pcfg.Restarts = 1
+	pcfg.Telemetry = reg
+	pcfg.Tracer = tracer
+	pcfg.OnProgress = func(s placement.ProgressSample) {
+		if s.Step%25 == 0 {
+			bus.Publish("placement_sample", s)
+		}
+	}
+	res, err := placement.Search(req, pcfg)
+	if err != nil {
+		return fmt.Errorf("interfd: round %d search: %w", round, err)
+	}
+	cluster.RecordOccupancy(reg, res.Placement)
+	bus.Publish("placement_done", map[string]any{
+		"round": round, "objective": res.Objective, "evaluations": res.Evaluations,
+	})
+
+	// Job stream through the online cluster manager.
+	jobs, err := schedule.Generate(spec, cfg.seed+int64(round))
+	if err != nil {
+		return fmt.Errorf("interfd: round %d stream: %w", round, err)
+	}
+	scfg := schedule.Config{
+		NumHosts: cfg.hosts, SlotsPerHost: cfg.slots,
+		Policy: cfg.policy, Predictors: preds, Scores: scores,
+		Seed:      cfg.seed + int64(round),
+		Telemetry: reg,
+		OnEvent: func(ev schedule.Event) {
+			bus.Publish(ev.Kind.String(), ev)
+		},
+	}
+	sres, err := schedule.Run(env, scfg, jobs)
+	if err != nil {
+		return fmt.Errorf("interfd: round %d schedule: %w", round, err)
+	}
+	logger.Debug("round complete", "round", round,
+		"jobs", len(sres.Outcomes), "makespan", sres.Makespan,
+		"mean_stretch", sres.MeanStretch, "qos_violations", sres.QoSViolations,
+		"search_objective", res.Objective)
+	return nil
+}

@@ -7,24 +7,31 @@
 //	interfsim -workload M.lmps -nodes 8 -interfering 2 -pressure 6
 //	interfsim -workload M.milc -ec2 -nodes 32 -interfering 16 -pressure 4
 //	interfsim -workload M.lesl -pressures 8,5,0,0,3,0,0,0
-//	interfsim -workload M.lmps -metrics out.json -trace trace.json
+//	interfsim -workload M.lmps -metrics - -listen :9090
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/ec2"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
 
 	interference "repro"
 )
+
+// logger is installed by main before any fatal path can run.
+var logger = obs.Nop()
 
 func main() {
 	var (
@@ -36,10 +43,20 @@ func main() {
 		useEC2      = flag.Bool("ec2", false, "use the simulated EC2 environment")
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		list        = flag.Bool("list", false, "list available workloads and exit")
-		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file")
-		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file")
+		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file ('-' for stdout)")
+		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file ('-' for stdout)")
+		listen      = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /readyz, /api/*, /debug/pprof/) on this address for the duration of the run, e.g. :9090")
+		logFormat   = flag.String("log-format", obs.LogText, "log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	l, err := obs.FlagLogger(*logFormat, *logLevel, "interfsim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "interfsim:", err)
+		os.Exit(1)
+	}
+	logger = l
 
 	out := report.NewReporter(os.Stdout)
 	if *list {
@@ -54,7 +71,10 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	telemetry.RegisterBuildInfo(reg)
 	runReport := telemetry.NewRunReport("interfsim", *seed, os.Args[1:])
+	srv, plane := servePlane(*listen, reg, tracer, runReport, logger)
+	defer stopPlane(srv, plane)
 
 	w, err := workloads.ByName(*name)
 	if err != nil {
@@ -71,6 +91,9 @@ func main() {
 	}
 	env.Telemetry = reg
 	env.Tracer = tracer
+	if srv != nil {
+		srv.SetReady(true)
+	}
 
 	var pressures []float64
 	if *pressureCSV != "" {
@@ -111,7 +134,34 @@ func main() {
 	}
 }
 
+// servePlane starts the batch-mode observability plane when listen is
+// non-empty; the run serves /metrics etc. until main returns.
+func servePlane(listen string, reg *telemetry.Registry, tracer *telemetry.Tracer,
+	rep *telemetry.RunReport, l *slog.Logger) (*obs.Server, *obs.Running) {
+	if listen == "" {
+		return nil, nil
+	}
+	srv := obs.New(obs.Options{Registry: reg, Tracer: tracer, Report: rep, Logger: l})
+	plane, err := srv.Start(listen)
+	if err != nil {
+		fatal(err)
+	}
+	return srv, plane
+}
+
+func stopPlane(srv *obs.Server, plane *obs.Running) {
+	if plane == nil {
+		return
+	}
+	srv.SetReady(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := plane.Shutdown(ctx); err != nil {
+		logger.Warn("plane shutdown", "err", err)
+	}
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "interfsim:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

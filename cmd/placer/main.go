@@ -7,17 +7,21 @@
 //	placer -apps M.milc,C.libq,H.KM,M.lmps
 //	placer -apps M.lmps,C.libq,H.KM,N.cg -qos M.lmps -bound 1.25
 //	placer -apps M.milc,C.libq,H.KM,M.lmps -goal worst
-//	placer -apps M.milc,C.libq,H.KM,M.lmps -metrics out.json -trace trace.json
+//	placer -apps M.milc,C.libq,H.KM,M.lmps -metrics - -trace - -listen :9090
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -25,6 +29,9 @@ import (
 
 	interference "repro"
 )
+
+// logger is installed by main before any fatal path can run.
+var logger = obs.Nop()
 
 func main() {
 	var (
@@ -36,15 +43,45 @@ func main() {
 		units       = flag.Int("units", 4, "units per application")
 		naive       = flag.Bool("naive", false, "drive the search with the naive proportional model")
 		seed        = flag.Int64("seed", 1, "experiment seed")
-		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file")
-		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file")
+		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file ('-' for stdout)")
+		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file ('-' for stdout)")
+		listen      = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /readyz, /api/*, /debug/pprof/) on this address for the duration of the run, e.g. :9090")
+		logFormat   = flag.String("log-format", obs.LogText, "log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	l, err := obs.FlagLogger(*logFormat, *logLevel, "placer")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "placer:", err)
+		os.Exit(1)
+	}
+	logger = l
+
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	telemetry.RegisterBuildInfo(reg)
 	runReport := telemetry.NewRunReport("placer", *seed, os.Args[1:])
 	out := report.NewReporter(os.Stdout)
+
+	var srv *obs.Server
+	var plane *obs.Running
+	bus := obs.NewBus(obs.DefaultBusBuffer)
+	if *listen != "" {
+		srv = obs.New(obs.Options{Registry: reg, Tracer: tracer, Report: runReport, Bus: bus, Logger: logger})
+		plane, err = srv.Start(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			srv.SetReady(false)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := plane.Shutdown(ctx); err != nil {
+				logger.Warn("plane shutdown", "err", err)
+			}
+		}()
+	}
 
 	names := strings.Split(*appsCSV, ",")
 	env, err := interference.NewPrivateClusterEnv(*seed)
@@ -76,7 +113,7 @@ func main() {
 			w.Name = alias
 			w.App.Name = alias
 		}
-		fmt.Fprintf(os.Stderr, "profiling %s...\n", base)
+		logger.Info("profiling workload", "workload", base, "alias", alias, "naive", *naive)
 		var pred interference.Predictor
 		var score float64
 		if *naive {
@@ -97,6 +134,9 @@ func main() {
 		wreg[alias] = w
 		demands = append(demands, interference.Demand{App: alias, Units: *units})
 	}
+	if srv != nil {
+		srv.SetReady(true)
+	}
 
 	req := interference.PlacementRequest{
 		NumHosts: 8, SlotsPerHost: 2,
@@ -106,6 +146,14 @@ func main() {
 	pcfg.Iterations = *iters
 	pcfg.Telemetry = reg
 	pcfg.Tracer = tracer
+	pcfg.OnProgress = func(s placement.ProgressSample) {
+		if s.Step%25 != 0 {
+			return
+		}
+		if data, err := json.Marshal(s); err == nil {
+			bus.Publish("placement_sample", data)
+		}
+	}
 	switch *goal {
 	case "best":
 		pcfg.Goal = placement.Best
@@ -122,6 +170,7 @@ func main() {
 		fatal(err)
 	}
 	cluster.RecordOccupancy(reg, res.Placement)
+	logger.Info("placement chosen", "objective", res.Objective, "evaluations", res.Evaluations)
 
 	out.KV("placement", "%s", res.Placement)
 	out.KV("objective", "%.4f (weighted normalized runtime, model)", res.Objective)
@@ -158,6 +207,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "placer:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -7,22 +7,28 @@
 // Examples:
 //
 //	profiler -workload M.milc -alg binary-optimized -samples 60
-//	profiler -workload M.milc -metrics out.json -trace trace.json
+//	profiler -workload M.milc -metrics - -trace - -listen :9090
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bubble"
 	"repro/internal/core"
 	"repro/internal/hetero"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/telemetry"
 
 	interference "repro"
 )
+
+// logger is installed by main before any fatal path can run.
+var logger = obs.Nop()
 
 func main() {
 	var (
@@ -31,15 +37,44 @@ func main() {
 		samples     = flag.Int("samples", 60, "heterogeneous samples for policy selection")
 		nodes       = flag.Int("nodes", 8, "nodes the application spans while profiled")
 		seed        = flag.Int64("seed", 1, "experiment seed")
-		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file")
-		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file")
+		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file ('-' for stdout)")
+		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file ('-' for stdout)")
+		listen      = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /readyz, /api/*, /debug/pprof/) on this address for the duration of the run, e.g. :9090")
+		logFormat   = flag.String("log-format", obs.LogText, "log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	l, err := obs.FlagLogger(*logFormat, *logLevel, "profiler")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiler:", err)
+		os.Exit(1)
+	}
+	logger = l
+
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	telemetry.RegisterBuildInfo(reg)
 	runReport := telemetry.NewRunReport("profiler", *seed, os.Args[1:])
 	out := report.NewReporter(os.Stdout)
+
+	var srv *obs.Server
+	var plane *obs.Running
+	if *listen != "" {
+		srv = obs.New(obs.Options{Registry: reg, Tracer: tracer, Report: runReport, Logger: logger})
+		plane, err = srv.Start(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			srv.SetReady(false)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := plane.Shutdown(ctx); err != nil {
+				logger.Warn("plane shutdown", "err", err)
+			}
+		}()
+	}
 
 	alg, err := parseAlg(*algName)
 	if err != nil {
@@ -62,10 +97,16 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Telemetry = reg
 	cfg.Tracer = tracer
+	logger.Info("building interference model", "workload", w.Name, "alg", alg.String(), "samples", *samples)
 	model, err := interference.BuildModel(env, w, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	if srv != nil {
+		srv.SetReady(true)
+	}
+	logger.Info("model built", "workload", model.Workload,
+		"bubble_score", model.BubbleScore, "policy", model.Policy.String())
 
 	out.KV("workload", "%s", model.Workload)
 	out.KV("bubble score", "%.2f (paper: %.1f)", model.BubbleScore, w.TargetBubbleScore)
@@ -121,6 +162,6 @@ func parseAlg(s string) (core.Algorithm, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "profiler:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

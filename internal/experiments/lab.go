@@ -22,12 +22,15 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ec2"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -44,6 +47,17 @@ type Config struct {
 	// disables instrumentation entirely.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// Logger, when non-nil, receives structured progress events (model
+	// builds, experiment starts). Nil silences them.
+	Logger *slog.Logger
+}
+
+// log returns the configured logger or a no-op one.
+func (c Config) log() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return obs.Nop()
 }
 
 // DefaultConfig is the full-fidelity configuration.
@@ -154,6 +168,7 @@ func (l *Lab) Model(name string) (*core.Model, error) {
 	// treats every application uniformly.
 	cfg := l.buildCfg()
 	cfg.Nodes = 8
+	l.Cfg.log().Info("building interference model", "workload", name, "env", "private")
 	m, err := core.BuildModel(l.Env, w, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: model for %s: %w", name, err)
@@ -224,6 +239,7 @@ func (l *Lab) EC2Model(name string) (*core.Model, error) {
 	cfg := l.buildCfg()
 	cfg.Nodes = ec2.Nodes
 	cfg.Samples = l.Cfg.ec2Samples()
+	l.Cfg.log().Info("building interference model", "workload", name, "env", "ec2")
 	m, err := core.BuildModel(env, w, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: EC2 model for %s: %w", name, err)
@@ -299,10 +315,13 @@ func All(cfg Config) ([]Output, error) {
 	}
 	var outs []Output
 	for _, r := range Runners() {
+		start := time.Now()
+		cfg.log().Info("running experiment", "id", r.ID)
 		o, err := r.Run(lab)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
 		}
+		cfg.log().Info("experiment done", "id", r.ID, "elapsed", time.Since(start).Round(time.Millisecond))
 		outs = append(outs, o)
 	}
 	return outs, nil

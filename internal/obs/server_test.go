@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func testServer(t *testing.T) (*Server, *telemetry.Registry, *telemetry.Tracer, *Bus) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(64)
+	bus := NewBus(64)
+	rep := telemetry.NewRunReport("obstest", 7, []string{"-x"})
+	return New(Options{Registry: reg, Tracer: tr, Bus: bus, Report: rep}), reg, tr, bus
+}
+
+// checkPromText validates the Prometheus text exposition shape: every line
+// is a # comment or `name[{labels}] value` with a parsable value.
+func checkPromText(t *testing.T, body string) {
+	t.Helper()
+	if body != "" && !strings.HasSuffix(body, "\n") {
+		t.Error("exposition does not end in a newline")
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("malformed exposition line %q", line)
+			continue
+		}
+		val := line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Errorf("unparsable value %q in line %q", val, line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			t.Errorf("unbalanced label block in %q", line)
+		}
+	}
+}
+
+// TestMetricsUnderConcurrentScrapes hammers /metrics from several clients
+// while a writer mutates the registry — the race-detector test the -race
+// CI pass exercises.
+func TestMetricsUnderConcurrentScrapes(t *testing.T) {
+	srv, reg, _, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		c := reg.Counter("chaos_total")
+		h := reg.Histogram("chaos_seconds", []float64{1, 2, 4})
+		s := reg.Series("chaos_trace")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			reg.Gauge(telemetry.Label("chaos_gauge", "i", fmt.Sprint(i%7))).Set(float64(i))
+			h.Observe(float64(i % 5))
+			s.Append(float64(i), float64(i))
+			if i%100 == 0 {
+				reg.TrimSeries(50)
+			}
+		}
+	}()
+
+	var scrapers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scrape status %d", resp.StatusCode)
+				}
+				if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+					t.Errorf("content type %q", ct)
+				}
+				checkPromText(t, string(body))
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// TestReadinessFlipOrdering checks /healthz is alive from the start while
+// /readyz flips 503 -> 200 -> 503 with SetReady.
+func TestReadinessFlipOrdering(t *testing.T) {
+	srv, _, _, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz before ready = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d, want 503", got)
+	}
+	srv.SetReady(true)
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz after SetReady(true) = %d, want 200", got)
+	}
+	if !srv.Ready() {
+		t.Error("Ready() = false after SetReady(true)")
+	}
+	srv.SetReady(false)
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after SetReady(false) = %d, want 503", got)
+	}
+}
+
+// TestSSEDeliveryAndDisconnect subscribes over HTTP, checks published
+// events arrive typed and ordered, then disconnects and checks the bus
+// subscriber is cleaned up.
+func TestSSEDeliveryAndDisconnect(t *testing.T) {
+	srv, _, _, bus := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/api/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Wait for the subscriber to register before publishing.
+	deadline := time.Now().Add(5 * time.Second)
+	for bus.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	bus.Publish("placement_sample", map[string]any{"step": 1, "best": 1.25})
+	bus.Publish("job_completed", map[string]any{"job_id": 42})
+
+	reader := bufio.NewReader(resp.Body)
+	var types []string
+	var payloads []string
+	for len(types) < 2 {
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early: %v (got %v)", err, types)
+		}
+		line = strings.TrimRight(line, "\n")
+		if strings.HasPrefix(line, "event: ") {
+			types = append(types, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			payloads = append(payloads, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if types[0] != "placement_sample" || types[1] != "job_completed" {
+		t.Errorf("event types = %v", types)
+	}
+	for _, p := range payloads {
+		var ev Event
+		if err := json.Unmarshal([]byte(p), &ev); err != nil {
+			t.Errorf("data line %q is not an Event: %v", p, err)
+		}
+	}
+
+	// Disconnect: the handler must unsubscribe from the bus.
+	cancel()
+	deadline = time.Now().Add(5 * time.Second)
+	for bus.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber leaked after disconnect: %d live", bus.Subscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReportAndSpansEndpoints(t *testing.T) {
+	srv, reg, tr, _ := testServer(t)
+	reg.Counter("events_total").Add(5)
+	tr.StartSpan("unit.test").End()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep telemetry.RunReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Tool != "obstest" || rep.Metrics.Counters["events_total"] != 5 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.SpansTotal != 1 {
+		t.Errorf("SpansTotal = %d, want 1", rep.SpansTotal)
+	}
+	if rep.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %v, want > 0", rep.WallSeconds)
+	}
+
+	resp2, err := http.Get(ts.URL + "/api/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var trace telemetry.TraceReport
+	if err := json.NewDecoder(resp2.Body).Decode(&trace); err != nil {
+		t.Fatalf("spans are not JSON: %v", err)
+	}
+	if trace.Total != 1 || len(trace.Spans) != 1 || trace.Spans[0].Name != "unit.test" {
+		t.Errorf("trace = %+v", trace)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv, _, _, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDegradedEndpoints: a server with no backing pieces still serves
+// health and metrics, 404s the report, and 503s the event stream.
+func TestDegradedEndpoints(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	for path, want := range map[string]int{
+		"/metrics":    http.StatusOK,
+		"/healthz":    http.StatusOK,
+		"/readyz":     http.StatusServiceUnavailable,
+		"/api/report": http.StatusNotFound,
+		"/api/spans":  http.StatusOK,
+		"/api/events": http.StatusServiceUnavailable,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestStartAndShutdown(t *testing.T) {
+	srv, _, _, _ := testServer(t)
+	run, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + run.Addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET over real listener: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := run.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + run.Addr + "/healthz"); err == nil {
+		t.Error("server still serving after shutdown")
+	}
+}

@@ -124,6 +124,21 @@ type Config struct {
 	// the search trajectory, which depends only on Seed.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+
+	// OnProgress, when non-nil, is called once per annealing step with
+	// the live convergence state — the hook the observability plane's
+	// event stream consumes. Like Telemetry, it only reads search state
+	// and must never feed back into the trajectory.
+	OnProgress func(ProgressSample)
+}
+
+// ProgressSample is one step of the search as reported to
+// Config.OnProgress.
+type ProgressSample struct {
+	Restart       int     `json:"restart"`
+	Step          int     `json:"step"` // global step index across restarts
+	Temperature   float64 `json:"temperature"`
+	BestObjective float64 `json:"best_objective"`
 }
 
 // Metric names recorded by Search when Config.Telemetry is set.
@@ -316,6 +331,12 @@ func Search(req Request, cfg Config) (Result, error) {
 				itersC.Inc()
 				tempSeries.Append(float64(step), temp)
 				bestSeries.Append(float64(step), best.Objective)
+			}
+			if cfg.OnProgress != nil {
+				cfg.OnProgress(ProgressSample{
+					Restart: restart, Step: step,
+					Temperature: temp, BestObjective: best.Objective,
+				})
 			}
 			// Propose: swap two slots holding different contents.
 			a := r.Intn(slots)

@@ -23,7 +23,70 @@ import (
 	"repro/internal/core"
 	"repro/internal/measure"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
+)
+
+// EventKind classifies a job lifecycle event.
+type EventKind int
+
+// Job lifecycle events, in the order a job can experience them.
+const (
+	// EventSubmitted fires when a job arrives.
+	EventSubmitted EventKind = iota
+	// EventPlaced fires when a job starts running (possibly after
+	// queueing).
+	EventPlaced
+	// EventQueued fires when an arriving job cannot be placed yet.
+	EventQueued
+	// EventCompleted fires when a job finishes; Outcome is set.
+	EventCompleted
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSubmitted:
+		return "job_submitted"
+	case EventPlaced:
+		return "job_placed"
+	case EventQueued:
+		return "job_queued"
+	case EventCompleted:
+		return "job_completed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one job lifecycle notification delivered to Config.OnEvent in
+// simulation order.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Time is the simulated time of the event, seconds.
+	Time     float64 `json:"time"`
+	JobID    int     `json:"job_id"`
+	Workload string  `json:"workload"`
+	Units    int     `json:"units"`
+	// Running and Queued are the post-event population counts.
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+	// Outcome is set on EventCompleted only.
+	Outcome *JobOutcome `json:"outcome,omitempty"`
+}
+
+// Metric names recorded by Run when Config.Telemetry is set.
+const (
+	MetricJobsSubmitted = "schedule_jobs_submitted_total"
+	MetricJobsPlaced    = "schedule_jobs_placed_total"
+	MetricJobsQueued    = "schedule_jobs_queued_total"
+	MetricJobsCompleted = "schedule_jobs_completed_total"
+	MetricQoSViolations = "schedule_qos_violations_total"
+	MetricRunningJobs   = "schedule_running_jobs"
+	MetricQueueLength   = "schedule_queue_length"
+	MetricMakespan      = "schedule_makespan_seconds"
+	MetricJobStretch    = "schedule_job_stretch"
+	MetricJobNormalized = "schedule_job_mean_normalized"
 )
 
 // Job is one deployment request.
@@ -94,6 +157,14 @@ type Config struct {
 	Predictors map[string]core.Predictor
 	Scores     map[string]float64
 	Seed       int64
+
+	// Telemetry, when non-nil, receives the Metric* counters, gauges,
+	// and histograms. OnEvent, when non-nil, receives every job
+	// lifecycle event in simulation order. Both are read-only observers:
+	// the schedule depends only on Seed and the job stream, with or
+	// without them.
+	Telemetry *telemetry.Registry
+	OnEvent   func(Event)
 }
 
 // JobOutcome reports one job's fate.
@@ -154,7 +225,33 @@ func Run(env *measure.Env, cfg Config, jobs []Job) (Result, error) {
 		reg:       map[string]workloads.Workload{},
 		running:   map[int]*runningJob{},
 	}
+	if cfg.Telemetry != nil {
+		s.m = newScheduleMetrics(cfg.Telemetry)
+	}
 	return s.run(ordered)
+}
+
+// scheduleMetrics holds the resolved telemetry handles so the event loop
+// pays map lookups only once per run.
+type scheduleMetrics struct {
+	submitted, placed, queued, completed, qos *telemetry.Counter
+	running, queueLen, makespan               *telemetry.Gauge
+	stretch, normalized                       *telemetry.Histogram
+}
+
+func newScheduleMetrics(reg *telemetry.Registry) *scheduleMetrics {
+	return &scheduleMetrics{
+		submitted:  reg.Counter(MetricJobsSubmitted),
+		placed:     reg.Counter(MetricJobsPlaced),
+		queued:     reg.Counter(MetricJobsQueued),
+		completed:  reg.Counter(MetricJobsCompleted),
+		qos:        reg.Counter(MetricQoSViolations),
+		running:    reg.Gauge(MetricRunningJobs),
+		queueLen:   reg.Gauge(MetricQueueLength),
+		makespan:   reg.Gauge(MetricMakespan),
+		stretch:    reg.Histogram(MetricJobStretch, telemetry.ExpBuckets(1, 1.5, 10)),
+		normalized: reg.Histogram(MetricJobNormalized, telemetry.ExpBuckets(1, 1.25, 10)),
+	}
 }
 
 func mustPlacement(hosts, slots int) *cluster.Placement {
@@ -180,6 +277,42 @@ type state struct {
 	running   map[int]*runningJob
 	queue     []Job
 	outcomes  []JobOutcome
+	m         *scheduleMetrics // nil when uninstrumented
+}
+
+// emit records metrics for one lifecycle event and forwards it to
+// Config.OnEvent. out is non-nil only for EventCompleted.
+func (s *state) emit(kind EventKind, now float64, j Job, out *JobOutcome) {
+	if s.m != nil {
+		switch kind {
+		case EventSubmitted:
+			s.m.submitted.Inc()
+		case EventPlaced:
+			s.m.placed.Inc()
+		case EventQueued:
+			s.m.queued.Inc()
+		case EventCompleted:
+			s.m.completed.Inc()
+			if out.QoSViolated {
+				s.m.qos.Inc()
+			}
+			if j.Work > 0 {
+				s.m.stretch.Observe((out.Finish - j.Arrival) / j.Work)
+			}
+			s.m.normalized.Observe(out.MeanNormalized)
+			s.m.makespan.SetMax(now)
+		}
+		s.m.running.Set(float64(len(s.running)))
+		s.m.queueLen.Set(float64(len(s.queue)))
+	}
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(Event{
+			Kind: kind, Time: now,
+			JobID: j.ID, Workload: j.Workload.Name, Units: j.Units,
+			Running: len(s.running), Queued: len(s.queue),
+			Outcome: out,
+		})
+	}
 }
 
 // refreshRates re-simulates the current placement and updates every
@@ -405,17 +538,20 @@ func (s *state) complete(id int, now float64) {
 	if rj.normTime > 0 {
 		meanNorm = rj.normSum / rj.normTime
 	}
-	s.outcomes = append(s.outcomes, JobOutcome{
+	oc := JobOutcome{
 		Job:            rj.job,
 		Start:          rj.start,
 		Finish:         now,
 		MeanNormalized: meanNorm,
 		QoSViolated:    rj.job.QoSBound > 0 && meanNorm > rj.job.QoSBound,
-	})
+	}
+	s.outcomes = append(s.outcomes, oc)
+	s.emit(EventCompleted, now, rj.job, &oc)
 }
 
 // drainQueue places as many queued jobs as now fit, FIFO.
 func (s *state) drainQueue(now float64) error {
+	var placedNow []Job
 	kept := s.queue[:0]
 	for _, j := range s.queue {
 		placed, err := s.tryPlace(j)
@@ -424,11 +560,16 @@ func (s *state) drainQueue(now float64) error {
 		}
 		if placed {
 			s.running[j.ID].start = now
+			placedNow = append(placedNow, j)
 		} else {
 			kept = append(kept, j)
 		}
 	}
 	s.queue = kept
+	// Emit after the queue settles so event population counts are final.
+	for _, j := range placedNow {
+		s.emit(EventPlaced, now, j, nil)
+	}
 	return nil
 }
 
@@ -453,14 +594,17 @@ func (s *state) run(ordered []Job) (Result, error) {
 			now = arrivalAt
 			j := ordered[next]
 			next++
+			s.emit(EventSubmitted, now, j, nil)
 			placed, err := s.tryPlace(j)
 			if err != nil {
 				return Result{}, err
 			}
 			if placed {
 				s.running[j.ID].start = now
+				s.emit(EventPlaced, now, j, nil)
 			} else {
 				s.queue = append(s.queue, j)
+				s.emit(EventQueued, now, j, nil)
 			}
 		} else {
 			s.advance(now, compAt)

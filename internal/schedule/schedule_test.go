@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -224,5 +225,78 @@ func TestDeterministicPerSeed(t *testing.T) {
 	}
 	if a.Makespan != b.Makespan || a.MeanStretch != b.MeanStretch {
 		t.Errorf("same-seed runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestTelemetryAndEventsDoNotPerturb runs the same stream with and without
+// observers attached and demands identical outcomes; it also checks the
+// event feed is causally ordered and consistent with the counters.
+func TestTelemetryAndEventsDoNotPerturb(t *testing.T) {
+	jobs := testJobs(t)
+
+	plain := testConfig(t, ModelDriven)
+	base, err := Run(testEnv(t), plain, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	var events []Event
+	obs := testConfig(t, ModelDriven)
+	obs.Telemetry = reg
+	obs.OnEvent = func(ev Event) { events = append(events, ev) }
+	got, err := Run(testEnv(t), obs, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.Makespan != got.Makespan || base.MeanStretch != got.MeanStretch ||
+		base.QoSViolations != got.QoSViolations || len(base.Outcomes) != len(got.Outcomes) {
+		t.Errorf("observers perturbed the schedule: %+v vs %+v", base, got)
+	}
+
+	counts := map[EventKind]int{}
+	last := -1.0
+	for _, ev := range events {
+		if ev.Time < last {
+			t.Errorf("event %v at %v out of order (previous %v)", ev.Kind, ev.Time, last)
+		}
+		last = ev.Time
+		counts[ev.Kind]++
+		if ev.Kind == EventCompleted && ev.Outcome == nil {
+			t.Error("completion event without outcome")
+		}
+	}
+	if counts[EventSubmitted] != len(jobs) || counts[EventCompleted] != len(jobs) {
+		t.Errorf("event counts = %v, want %d submitted and completed", counts, len(jobs))
+	}
+	if counts[EventPlaced] != len(jobs) {
+		t.Errorf("placed events = %d, want %d (queued jobs re-emit on placement)", counts[EventPlaced], len(jobs))
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters[MetricJobsSubmitted] != uint64(len(jobs)) {
+		t.Errorf("%s = %d, want %d", MetricJobsSubmitted, snap.Counters[MetricJobsSubmitted], len(jobs))
+	}
+	if snap.Counters[MetricJobsCompleted] != uint64(len(jobs)) {
+		t.Errorf("%s = %d, want %d", MetricJobsCompleted, snap.Counters[MetricJobsCompleted], len(jobs))
+	}
+	if snap.Gauges[MetricMakespan] != base.Makespan {
+		t.Errorf("%s = %v, want %v", MetricMakespan, snap.Gauges[MetricMakespan], base.Makespan)
+	}
+	if snap.Histograms[MetricJobStretch].Count != uint64(len(jobs)) {
+		t.Errorf("stretch histogram count = %d", snap.Histograms[MetricJobStretch].Count)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventSubmitted: "job_submitted", EventPlaced: "job_placed",
+		EventQueued: "job_queued", EventCompleted: "job_completed",
+		EventKind(9): "EventKind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
 	}
 }

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfoMetric is the name of the gauge RegisterBuildInfo sets.
+const BuildInfoMetric = "build_info"
+
+// RegisterBuildInfo sets a constant build_info gauge (value 1) labeled
+// with the Go toolchain version, the main module path and version, and the
+// VCS revision when the binary carries one — the standard trick for making
+// every scrape and RunReport identify the binary that produced it. It
+// returns the full labeled metric name. A nil registry is a no-op.
+func RegisterBuildInfo(reg *Registry) string {
+	if reg == nil {
+		return ""
+	}
+	module, version, revision := "unknown", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	name := Label(BuildInfoMetric,
+		"go_version", runtime.Version(),
+		"module", module,
+		"module_version", version,
+		"revision", revision)
+	reg.Gauge(name).Set(1)
+	return name
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -106,6 +107,87 @@ func promName(base string) string {
 	return b.String()
 }
 
+// promLabelName sanitizes a label name to the Prometheus label charset
+// [a-zA-Z_][a-zA-Z0-9_]* (label names, unlike metric names, admit no ':').
+func promLabelName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelBlock sanitizes a raw label block (the text between '{' and '}'
+// of a metric name) into valid Prometheus exposition syntax: label names
+// are reduced to the legal charset and values are re-escaped with Go quote
+// rules, which match the exposition format's (\\, \", \n). Names built with
+// Label() pass through unchanged; hand-rolled names with special characters
+// in keys or values come out scrape-safe. Distinct raw blocks can collapse
+// to the same sanitized block; the exporter does not dedupe them.
+func promLabelBlock(labels string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(labels) {
+		eq := strings.IndexByte(labels[i:], '=')
+		if eq < 0 {
+			break // trailing garbage with no key=value shape: drop it
+		}
+		key := labels[i : i+eq]
+		i += eq + 1
+		var val string
+		if i < len(labels) && labels[i] == '"' {
+			// Quoted value: scan to the closing quote, honoring escapes.
+			k := i + 1
+			for k < len(labels) && labels[k] != '"' {
+				if labels[k] == '\\' {
+					k++
+				}
+				k++
+			}
+			if k >= len(labels) { // unterminated quote
+				val = labels[i+1:]
+				i = len(labels)
+			} else {
+				if uq, err := strconv.Unquote(labels[i : k+1]); err == nil {
+					val = uq
+				} else {
+					val = labels[i+1 : k]
+				}
+				i = k + 1
+			}
+		} else {
+			// Unquoted value: runs to the next comma.
+			if k := strings.IndexByte(labels[i:], ','); k >= 0 {
+				val = labels[i : i+k]
+				i += k
+			} else {
+				val = labels[i:]
+				i = len(labels)
+			}
+		}
+		if i < len(labels) && labels[i] == ',' {
+			i++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(strings.TrimSpace(key)))
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(val))
+	}
+	return b.String()
+}
+
 func promFloat(v float64) string {
 	switch {
 	case math.IsInf(v, +1):
@@ -132,6 +214,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		base, labels := splitName(name)
 		base = promName(base)
+		labels = promLabelBlock(labels)
 		if !typed[base] {
 			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
 				return err
@@ -154,6 +237,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		base, labels := splitName(name)
 		base = promName(base)
+		labels = promLabelBlock(labels)
 		if !typed[base] {
 			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
 				return err
@@ -177,6 +261,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		h := snap.Histograms[name]
 		base, labels := splitName(name)
 		base = promName(base)
+		labels = promLabelBlock(labels)
 		if !typed[base] {
 			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
 				return err
@@ -267,7 +352,8 @@ func NewTraceReport(tool string, tr *Tracer) TraceReport {
 }
 
 // Emit finalizes rep against reg and tr and writes the files the cmd/
-// tools' -metrics and -trace flags requested; empty paths are skipped.
+// tools' -metrics and -trace flags requested; empty paths are skipped and
+// "-" writes to standard output.
 func Emit(rep *RunReport, reg *Registry, tr *Tracer, metricsPath, tracePath string) error {
 	rep.Finish(reg, tr)
 	if metricsPath != "" {
@@ -283,8 +369,15 @@ func Emit(rep *RunReport, reg *Registry, tr *Tracer, metricsPath, tracePath stri
 	return nil
 }
 
-// WriteJSONFile writes v as indented JSON to path.
+// WriteJSONFile writes v as indented JSON to path. The conventional path
+// "-" selects standard output instead of a file — the cmd/ tools document
+// it in their -metrics/-trace flag help.
 func WriteJSONFile(path string, v any) error {
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -64,6 +66,122 @@ func TestGoldenPrometheus(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, filepath.Join("testdata", "metrics.golden.prom"), buf.Bytes())
+}
+
+// nastyRegistry builds a registry whose metric names abuse the label
+// segment — illegal characters in label names, quotes/newlines/backslashes
+// in values, unquoted values, and unterminated quotes — so the exporter's
+// sanitization is pinned by a golden file.
+func nastyRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter(Label("jobs_total", "mix/variant", "a\"b")).Add(3)
+	reg.Counter(`jobs_total{policy=model driven,qos=yes}`).Add(2)
+	reg.Counter("events_total{src=\"line1\nline2\"}").Add(1)
+	reg.Gauge(`weird gauge{bad key!="x\y",ok="v"}`).Set(7)
+	reg.Gauge(`trailing{a="unterminated`).Set(1)
+	h := reg.Histogram(Label("run_seconds", "engine name", `q"uote`), []float64{1})
+	h.Observe(0.5)
+	return reg
+}
+
+func TestGoldenLabelSanitization(t *testing.T) {
+	var buf bytes.Buffer
+	if err := nastyRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "labels.golden.prom"), buf.Bytes())
+}
+
+func TestPromLabelBlock(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{`alg="binary-optimized"`, `alg="binary-optimized"`},
+		{`a="x",b="y"`, `a="x",b="y"`},
+		{`bad key!="v"`, `bad_key_="v"`},
+		{`k=unquoted`, `k="unquoted"`},
+		{`k="a,b",j="c"`, `k="a,b",j="c"`},
+		{`k="q\"uote"`, `k="q\"uote"`},
+		{`k="unterminated`, `k="unterminated"`},
+		{`9lead="v"`, `_lead="v"`},
+		{`novalue`, ``},
+		{``, ``},
+	} {
+		if got := promLabelBlock(tc.in); got != tc.want {
+			t.Errorf("promLabelBlock(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	if got := RegisterBuildInfo(nil); got != "" {
+		t.Errorf("RegisterBuildInfo(nil) = %q, want empty", got)
+	}
+	reg := NewRegistry()
+	name := RegisterBuildInfo(reg)
+	if !strings.HasPrefix(name, BuildInfoMetric+"{") {
+		t.Fatalf("metric name %q lacks the %s label block", name, BuildInfoMetric)
+	}
+	for _, label := range []string{"go_version=", "module=", "module_version=", "revision="} {
+		if !strings.Contains(name, label) {
+			t.Errorf("metric name %q missing label %q", name, label)
+		}
+	}
+	if v := reg.Snapshot().Gauges[name]; v != 1 {
+		t.Errorf("gauge %q = %v, want 1", name, v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE build_info gauge") {
+		t.Errorf("Prometheus output missing build_info:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSONFileStdout(t *testing.T) {
+	// "-" must write to stdout and leave no file named "-" behind.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	werr := WriteJSONFile("-", map[string]int{"x": 1})
+	w.Close()
+	os.Stdout = old
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]int
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("stdout payload is not JSON: %v", err)
+	}
+	if back["x"] != 1 {
+		t.Errorf("round trip = %v", back)
+	}
+	if _, err := os.Stat("-"); !os.IsNotExist(err) {
+		t.Error(`WriteJSONFile("-") created a file named "-"`)
+	}
+}
+
+func TestSeriesTrim(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Series("trace")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i)*2)
+	}
+	reg.TrimSeries(3)
+	pts := s.Points()
+	if len(pts) != 3 || pts[0].X != 7 || pts[2].X != 9 {
+		t.Errorf("TrimTo kept %v, want the last 3 points", pts)
+	}
+	s.TrimTo(0)
+	if s.Len() != 0 {
+		t.Errorf("TrimTo(0) left %d points", s.Len())
+	}
 }
 
 // TestJSONDeterministic re-encodes the same registry state twice and
