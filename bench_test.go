@@ -197,8 +197,9 @@ func BenchmarkBinaryOptimized(b *testing.B) {
 
 // BenchmarkPlacementSearch measures the annealing search with cheap
 // synthetic predictors, isolating the search from model construction.
-func BenchmarkPlacementSearch(b *testing.B) {
-	type flat struct{ per float64 }
+// benchPlacementRequest is the 8-host, 4-app problem shared by the
+// placement-search benchmarks.
+func benchPlacementRequest() placement.Request {
 	pred := func(per float64) core.Predictor {
 		return predictorFunc(func(ps []float64) (float64, error) {
 			var s float64
@@ -208,8 +209,7 @@ func BenchmarkPlacementSearch(b *testing.B) {
 			return 1 + per*s, nil
 		})
 	}
-	_ = flat{}
-	req := placement.Request{
+	return placement.Request{
 		NumHosts: 8, SlotsPerHost: 2,
 		Demands: []cluster.Demand{
 			{App: "a", Units: 4}, {App: "b", Units: 4},
@@ -220,6 +220,10 @@ func BenchmarkPlacementSearch(b *testing.B) {
 		},
 		Scores: map[string]float64{"a": 0.5, "b": 0.5, "c": 6, "d": 6},
 	}
+}
+
+func BenchmarkPlacementSearch(b *testing.B) {
+	req := benchPlacementRequest()
 	cfg := placement.DefaultConfig(1)
 	cfg.Iterations = 1000
 	cfg.Restarts = 1
@@ -227,6 +231,45 @@ func BenchmarkPlacementSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
 		if _, err := placement.Search(req, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementSearchRestarts measures the multi-restart search,
+// whose independent trajectories run one goroutine each.
+func BenchmarkPlacementSearchRestarts(b *testing.B) {
+	req := benchPlacementRequest()
+	cfg := placement.DefaultConfig(1)
+	cfg.Iterations = 1000
+	cfg.Restarts = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := placement.Search(req, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaPredict measures a two-host incremental re-prediction
+// against the full-placement prediction the search used to pay per swap.
+func BenchmarkDeltaPredict(b *testing.B) {
+	req := benchPlacementRequest()
+	p, err := cluster.RandomValid(sim.NewRNG(3), req.NumHosts, req.SlotsPerHost, req.Demands, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewPredictionCache()
+	out := map[string]float64{}
+	if err := core.DeltaPredict(p, p.Apps(), req.Predictors, req.Scores, cache, out); err != nil {
+		b.Fatal(err)
+	}
+	affected := p.HostApps(0)
+	affected = append(affected, p.HostApps(1)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.DeltaPredict(p, affected, req.Predictors, req.Scores, cache, out); err != nil {
 			b.Fatal(err)
 		}
 	}

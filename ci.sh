@@ -14,6 +14,10 @@ go build ./...
 go build -o /dev/null ./cmd/interfd ./cmd/benchdiff
 echo "== go test -race (incl. internal/obs + cmd/interfd handler tests) =="
 go test -race ./...
+echo "== go test -race -count=2 (search determinism: placement/core/profile) =="
+# The parallel placement search must be a pure function of the seed; run
+# its packages twice uncached so nondeterminism across runs is caught.
+go test -race -count=2 ./internal/placement ./internal/core ./internal/profile
 
 echo "== benchdiff gate =="
 # Self-check the gate itself: the committed baseline must pass against
@@ -35,6 +39,12 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   trap 'rm -f "$fresh"' EXIT
   BENCH_OUT="$fresh" ./scripts/bench.sh >/dev/null
   go run ./cmd/benchdiff -threshold "${BENCH_THRESHOLD:-50}" BENCH_telemetry.json "$fresh"
+  # The search and prediction hot paths get a tighter gate: they are the
+  # benchmarks this repository optimises, so they may not quietly erode
+  # behind the generous whole-suite threshold.
+  go run ./cmd/benchdiff -quiet -threshold "${BENCH_HOT_THRESHOLD:-30}" \
+    -only BenchmarkPlacementSearch,BenchmarkModelPredict \
+    BENCH_telemetry.json "$fresh"
 fi
 
 echo "ci: all checks passed"

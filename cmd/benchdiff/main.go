@@ -8,6 +8,7 @@
 //	benchdiff BENCH_telemetry.json BENCH_new.json
 //	benchdiff -threshold 10 old.json new.json
 //	benchdiff -allow-missing old.json new.json
+//	benchdiff -only BenchmarkPlacementSearch,BenchmarkModelPredict old.json new.json
 //
 // The default threshold is generous (25%) because scripts/bench.sh's
 // default -benchtime 1x numbers are single-iteration samples; tighten it
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 )
 
@@ -72,6 +74,34 @@ func compare(old, new benchFile, thresholdPct float64) (diffs []diff, regression
 	return diffs, regressions, onlyOld, onlyNew
 }
 
+// filterOnly restricts a file to the named benchmarks (exact matches of
+// the comma-separated list). Names absent from the file are returned so
+// the caller can fail loudly instead of silently gating on nothing.
+func filterOnly(bf benchFile, only []string) (benchFile, []string) {
+	kept := benchFile{Benchtime: bf.Benchtime, Benchmarks: map[string]benchEntry{}}
+	var missing []string
+	for _, name := range only {
+		if e, ok := bf.Benchmarks[name]; ok {
+			kept.Benchmarks[name] = e
+		} else {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return kept, missing
+}
+
+// parseOnly splits a comma-separated -only value, dropping empty items.
+func parseOnly(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 func load(path string) (benchFile, error) {
 	var bf benchFile
 	raw, err := os.ReadFile(path)
@@ -92,6 +122,7 @@ func main() {
 		threshold    = flag.Float64("threshold", 25, "fail when new ns/op exceeds old by more than this percentage")
 		allowMissing = flag.Bool("allow-missing", false, "tolerate benchmarks present in only one file")
 		quiet        = flag.Bool("quiet", false, "print only regressions")
+		only         = flag.String("only", "", "comma-separated benchmark names; compare just these (they must exist in the old file)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
@@ -109,6 +140,13 @@ func main() {
 	newBF, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
+	}
+	if names := parseOnly(*only); len(names) > 0 {
+		var missing []string
+		if oldBF, missing = filterOnly(oldBF, names); len(missing) > 0 {
+			fatal(fmt.Errorf("-only benchmark(s) not in %s: %s", flag.Arg(0), strings.Join(missing, ", ")))
+		}
+		newBF, _ = filterOnly(newBF, names)
 	}
 
 	diffs, regressions, onlyOld, onlyNew := compare(oldBF, newBF, *threshold)

@@ -110,3 +110,40 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Errorf("rejected a valid file: %v", err)
 	}
 }
+
+func TestFilterOnly(t *testing.T) {
+	bf := file(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 2000, "BenchmarkC": 5})
+	kept, missing := filterOnly(bf, []string{"BenchmarkB", "BenchmarkA"})
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+	if len(kept.Benchmarks) != 2 {
+		t.Fatalf("kept %d benchmarks, want 2", len(kept.Benchmarks))
+	}
+	if _, ok := kept.Benchmarks["BenchmarkC"]; ok {
+		t.Error("BenchmarkC should have been filtered out")
+	}
+	_, missing = filterOnly(bf, []string{"BenchmarkA", "BenchmarkZ", "BenchmarkQ"})
+	if len(missing) != 2 || missing[0] != "BenchmarkQ" || missing[1] != "BenchmarkZ" {
+		t.Errorf("missing = %v, want [BenchmarkQ BenchmarkZ]", missing)
+	}
+	// A filtered compare gates only the named benchmarks: a regression
+	// elsewhere must not trip it.
+	old := file(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 2000})
+	regressed := file(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 9000})
+	fo, _ := filterOnly(old, []string{"BenchmarkA"})
+	fn, _ := filterOnly(regressed, []string{"BenchmarkA"})
+	if _, regressions, _, _ := compare(fo, fn, 25); len(regressions) != 0 {
+		t.Errorf("regression outside -only set leaked through: %+v", regressions)
+	}
+}
+
+func TestParseOnly(t *testing.T) {
+	if got := parseOnly(""); got != nil {
+		t.Errorf("empty string should parse to nil, got %v", got)
+	}
+	got := parseOnly(" BenchmarkA, ,BenchmarkB ,")
+	if len(got) != 2 || got[0] != "BenchmarkA" || got[1] != "BenchmarkB" {
+		t.Errorf("parseOnly = %v", got)
+	}
+}

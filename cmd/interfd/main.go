@@ -59,6 +59,7 @@ type daemonConfig struct {
 	qosBound         float64
 	samples          int // heterogeneity samples per model build
 	searchIters      int // placement-search iterations per round
+	searchRestarts   int // parallel annealing restarts per round
 	seriesCap        int // retained points per convergence series
 	roundPause       time.Duration
 	reportPath       string
@@ -78,7 +79,7 @@ func defaultDaemonConfig() daemonConfig {
 		jobUnits: 2, batch: 10, rounds: 0,
 		meanInterarrival: 30, workMin: 20, workMax: 90,
 		qosFraction: 0.25, qosBound: 1.25,
-		samples: 15, searchIters: 600, seriesCap: 4096,
+		samples: 15, searchIters: 600, searchRestarts: 1, seriesCap: 4096,
 		roundPause: 0,
 		reportPath: "interfd-report.json",
 	}
@@ -99,6 +100,7 @@ func main() {
 		qosBound  = flag.Float64("qos-bound", cfg.qosBound, "QoS bound on normalized execution time")
 		samples   = flag.Int("profile-samples", cfg.samples, "heterogeneity samples per startup model build")
 		iters     = flag.Int("search-iters", cfg.searchIters, "placement-search iterations per round")
+		restarts  = flag.Int("search-restarts", cfg.searchRestarts, "independent annealing restarts per round, run in parallel")
 		pause     = flag.Duration("round-pause", cfg.roundPause, "wall-clock pause between rounds")
 		report    = flag.String("report", cfg.reportPath, "write the final JSON RunReport to this file ('-' for stdout)")
 		trace     = flag.String("trace", "", "write recorded spans as JSON to this file at exit ('-' for stdout)")
@@ -117,6 +119,7 @@ func main() {
 	cfg.jobUnits, cfg.batch, cfg.rounds = *jobUnits, *batch, *rounds
 	cfg.meanInterarrival, cfg.qosFraction, cfg.qosBound = *interarr, *qosFrac, *qosBound
 	cfg.samples, cfg.searchIters, cfg.roundPause = *samples, *iters, *pause
+	cfg.searchRestarts = *restarts
 	cfg.reportPath, cfg.tracePath = *report, *trace
 	switch *policyStr {
 	case schedule.ModelDriven.String():
@@ -293,7 +296,10 @@ func runRound(cfg daemonConfig, round int, env *interference.Env,
 	}
 	pcfg := placement.DefaultConfig(cfg.seed + int64(round))
 	pcfg.Iterations = cfg.searchIters
-	pcfg.Restarts = 1
+	pcfg.Restarts = cfg.searchRestarts
+	if pcfg.Restarts <= 0 {
+		pcfg.Restarts = 1
+	}
 	pcfg.Telemetry = reg
 	pcfg.Tracer = tracer
 	pcfg.OnProgress = func(s placement.ProgressSample) {

@@ -40,6 +40,7 @@ func main() {
 		bound       = flag.Float64("bound", 1.25, "QoS bound on normalized execution time")
 		goal        = flag.String("goal", "best", "search goal: best or worst")
 		iters       = flag.Int("iters", 4000, "annealing iterations")
+		restarts    = flag.Int("restarts", 0, "independent annealing restarts, run in parallel (0 = search default)")
 		units       = flag.Int("units", 4, "units per application")
 		naive       = flag.Bool("naive", false, "drive the search with the naive proportional model")
 		seed        = flag.Int64("seed", 1, "experiment seed")
@@ -144,6 +145,9 @@ func main() {
 	}
 	pcfg := interference.DefaultPlacementConfig(*seed)
 	pcfg.Iterations = *iters
+	if *restarts > 0 {
+		pcfg.Restarts = *restarts
+	}
 	pcfg.Telemetry = reg
 	pcfg.Tracer = tracer
 	pcfg.OnProgress = func(s placement.ProgressSample) {

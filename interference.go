@@ -170,9 +170,16 @@ func SearchPlacement(req PlacementRequest, cfg PlacementConfig) (PlacementResult
 }
 
 // RandomPlacements evaluates n random valid placements with the model
-// (the paper's Random baseline).
+// (the paper's Random baseline). No QoS constraint is applied; use
+// RandomPlacementsQoS to have each sample checked against one.
 func RandomPlacements(req PlacementRequest, n int, seed int64) ([]PlacementResult, error) {
-	return placement.RandomOutcome(req, n, seed)
+	return placement.RandomOutcome(req, n, seed, nil)
+}
+
+// RandomPlacementsQoS is RandomPlacements with each sample's
+// QoSSatisfied evaluated against the given constraint.
+func RandomPlacementsQoS(req PlacementRequest, n int, seed int64, qos *QoS) ([]PlacementResult, error) {
+	return placement.RandomOutcome(req, n, seed, qos)
 }
 
 // NewPlacement returns an empty placement grid.

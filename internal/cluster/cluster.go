@@ -236,9 +236,53 @@ func (p *Placement) CoRunners(app string) [][]string {
 func (p *Placement) Validate() error {
 	limit := p.AppsPerHostLimit()
 	for h := range p.slots {
-		if n := len(p.HostApps(h)); n > limit {
-			return fmt.Errorf("cluster: host %d has %d distinct apps (max %d)", h, n, limit)
+		if err := p.validateHost(h, limit); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// ValidateHosts checks the co-location rule on the given hosts only — the
+// targeted variant used by the incremental placement search, where a
+// swap can introduce a violation only on the two hosts it touches. On a
+// placement whose other hosts are already valid it is equivalent to
+// Validate. Out-of-range hosts are an error.
+func (p *Placement) ValidateHosts(hosts ...int) error {
+	limit := p.AppsPerHostLimit()
+	for _, h := range hosts {
+		if h < 0 || h >= p.NumHosts {
+			return fmt.Errorf("cluster: host %d out of range", h)
+		}
+		if err := p.validateHost(h, limit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateHost checks one host against the distinct-app limit without
+// allocating (the hot-path complement of HostApps).
+func (p *Placement) validateHost(h, limit int) error {
+	hs := p.slots[h]
+	n := 0
+	for i, a := range hs {
+		if a == "" {
+			continue
+		}
+		dup := false
+		for _, b := range hs[:i] {
+			if b == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
+	}
+	if n > limit {
+		return fmt.Errorf("cluster: host %d has %d distinct apps (max %d)", h, n, limit)
 	}
 	return nil
 }

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateHostsMatchesValidate checks the targeted check agrees with
+// the full scan on every host of valid and invalid placements, and that a
+// swap undone with a second Swap restores the original layout exactly —
+// the apply/undo contract the incremental placement search relies on.
+func TestValidateHostsMatchesValidate(t *testing.T) {
+	p, err := NewPlacement(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []struct {
+		h, s int
+		app  string
+	}{
+		{0, 0, "a"}, {0, 1, "b"}, {0, 2, "a"},
+		{1, 0, "c"}, {1, 1, "c"},
+		{2, 0, "a"}, {2, 1, "b"}, {2, 2, "c"}, // 3 distinct: violates pairwise
+	} {
+		if err := p.Set(s.h, s.s, s.app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("placement with a 3-app host should be invalid")
+	}
+	if err := p.ValidateHosts(0, 1); err != nil {
+		t.Errorf("hosts 0 and 1 are valid, got %v", err)
+	}
+	if err := p.ValidateHosts(2); err == nil || !strings.Contains(err.Error(), "host 2") {
+		t.Errorf("host 2 should be flagged, got %v", err)
+	}
+	if err := p.ValidateHosts(1, 2); err == nil {
+		t.Error("checking an invalid host among valid ones should fail")
+	}
+	if err := p.ValidateHosts(-1); err == nil {
+		t.Error("negative host should be rejected")
+	}
+	if err := p.ValidateHosts(3); err == nil {
+		t.Error("out-of-range host should be rejected")
+	}
+
+	// Apply/undo: a second identical Swap is a perfect inverse.
+	before := p.String()
+	if err := p.Swap(0, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == before {
+		t.Fatal("swap should change the layout")
+	}
+	if err := p.Swap(0, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != before {
+		t.Errorf("swap undo left %s, want %s", got, before)
+	}
+}
+
+// TestValidateHostsRespectsLimit checks the targeted check honours a
+// raised apps-per-host limit like Validate does.
+func TestValidateHostsRespectsLimit(t *testing.T) {
+	p, err := NewPlacementLimit(1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range []string{"a", "b", "c"} {
+		if err := p.Set(0, i, app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.ValidateHosts(0); err != nil {
+		t.Errorf("3 apps within limit 3 should pass, got %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+// Incremental prediction: the placement search proposes thousands of
+// single-swap neighbours per second, and a swap touches at most two
+// hosts — so only the applications with units on those hosts can see a
+// different pressure vector. DeltaPredict re-predicts exactly that
+// affected set against a cached per-app prediction map, and
+// PredictionCache memoizes predictions by (app, pressure vector) so
+// proposals that revisit a configuration skip the policy conversion and
+// matrix lookup entirely.
+
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bubble"
+	"repro/internal/cluster"
+)
+
+// PredictionCache memoizes Predictor results keyed by the application
+// name and the exact (canonically unit-ordered, host-then-slot) pressure
+// vector its model consumes. Predictors must be pure functions of that
+// vector — every model in this package is, since the Section 3.3
+// policies and the propagation matrix are deterministic — so a hit is
+// bit-identical to recomputation and never perturbs a search trajectory.
+//
+// A cache is not safe for concurrent use; give each goroutine its own
+// (the parallel placement search keeps one per restart).
+type PredictionCache struct {
+	m            map[string]float64
+	cm           map[string]float64 // co-runner score vector -> combined pressure
+	key, ck      []byte
+	ps, co       []float64 // scratch pressure / co-runner score buffers
+	hits, misses uint64
+}
+
+// NewPredictionCache returns an empty cache.
+func NewPredictionCache() *PredictionCache {
+	return &PredictionCache{m: map[string]float64{}, cm: map[string]float64{}}
+}
+
+// combine returns bubble.CombineScores(co, bubble.DefaultCollision),
+// memoized by the exact score vector — the collision exponent is a
+// package constant, so the pair is a pure function of co.
+func (c *PredictionCache) combine(co []float64) (float64, error) {
+	if c == nil {
+		return bubble.CombineScores(co, bubble.DefaultCollision)
+	}
+	k := c.ck[:0]
+	var buf [8]byte
+	for _, s := range co {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
+		k = append(k, buf[:]...)
+	}
+	c.ck = k
+	if v, ok := c.cm[string(k)]; ok {
+		return v, nil
+	}
+	v, err := bubble.CombineScores(co, bubble.DefaultCollision)
+	if err != nil {
+		return 0, err
+	}
+	c.cm[string(k)] = v
+	return v, nil
+}
+
+// Predict returns the memoized prediction for (app, pressures), computing
+// and storing it on a miss. A nil cache degrades to a plain prediction.
+func (c *PredictionCache) Predict(app string, pred Predictor, pressures []float64) (float64, error) {
+	if c == nil {
+		return pred.PredictPressures(pressures)
+	}
+	k := append(c.key[:0], app...)
+	k = append(k, 0)
+	var buf [8]byte
+	for _, p := range pressures {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		k = append(k, buf[:]...)
+	}
+	c.key = k
+	if v, ok := c.m[string(k)]; ok {
+		c.hits++
+		return v, nil
+	}
+	v, err := pred.PredictPressures(pressures)
+	if err != nil {
+		return 0, err
+	}
+	c.m[string(k)] = v
+	c.misses++
+	return v, nil
+}
+
+// Stats reports cache hits and misses so far.
+func (c *PredictionCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits, c.misses
+}
+
+// Len reports the number of memoized entries.
+func (c *PredictionCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.m)
+}
+
+// DeltaPredict re-predicts only the listed applications of p and writes
+// the results into out, leaving every other entry untouched. Calling it
+// with an application set covering two swapped hosts turns a full
+// placement re-prediction into a two-host delta: an application with no
+// unit on a touched host keeps its pressure vector, hence its cached
+// prediction. With apps = p.Apps() it is a full PredictPlacement into
+// out. cache may be nil.
+func DeltaPredict(p *cluster.Placement, apps []string, predictors map[string]Predictor, scores map[string]float64, cache *PredictionCache, out map[string]float64) error {
+	if p == nil {
+		return errors.New("core: nil placement")
+	}
+	if out == nil {
+		return errors.New("core: nil prediction map")
+	}
+	for _, a := range apps {
+		pred, ok := predictors[a]
+		if !ok {
+			return fmt.Errorf("core: no predictor for %q", a)
+		}
+		ps, err := appendPressures(p, a, scores, cache)
+		if err != nil {
+			return err
+		}
+		v, err := cache.Predict(a, pred, ps)
+		if err != nil {
+			return err
+		}
+		out[a] = v
+	}
+	return nil
+}
+
+// appendPressures computes PressuresFor(p, app, scores) into the cache's
+// scratch buffers (allocating fresh slices when cache is nil). The
+// returned slice is only valid until the next call with the same cache;
+// computation order matches PressuresFor exactly so results are
+// bit-identical.
+func appendPressures(p *cluster.Placement, app string, scores map[string]float64, cache *PredictionCache) ([]float64, error) {
+	var out, co []float64
+	if cache != nil {
+		out, co = cache.ps[:0], cache.co[:0]
+	}
+	for h := 0; h < p.NumHosts; h++ {
+		for s := 0; s < p.HostSlots; s++ {
+			if p.At(h, s) != app {
+				continue
+			}
+			co = co[:0]
+			for o := 0; o < p.HostSlots; o++ {
+				if o == s {
+					continue
+				}
+				other := p.At(h, o)
+				if other == "" {
+					continue
+				}
+				sc, ok := scores[other]
+				if !ok {
+					return nil, fmt.Errorf("core: no bubble score for %q", other)
+				}
+				co = append(co, sc)
+			}
+			combined, err := cache.combine(co)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, combined)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: app %q not in placement", app)
+	}
+	if cache != nil {
+		cache.ps, cache.co = out, co
+	}
+	return out, nil
+}

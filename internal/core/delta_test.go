@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// sumPred predicts 1 + w*sum(pressures); deterministic and cheap.
+type sumPred struct{ w float64 }
+
+func (s sumPred) PredictPressures(ps []float64) (float64, error) {
+	var t float64
+	for _, p := range ps {
+		t += p
+	}
+	return 1 + s.w*t, nil
+}
+
+// countingPred wraps a Predictor and counts invocations.
+type countingPred struct {
+	inner Predictor
+	calls *int
+}
+
+func (c countingPred) PredictPressures(ps []float64) (float64, error) {
+	*c.calls++
+	return c.inner.PredictPressures(ps)
+}
+
+func deltaFixture(t *testing.T) (*cluster.Placement, map[string]Predictor, map[string]float64, *int) {
+	t.Helper()
+	demands := []cluster.Demand{
+		{App: "a", Units: 4}, {App: "b", Units: 4},
+		{App: "c", Units: 4}, {App: "d", Units: 4},
+	}
+	p, err := cluster.RandomValid(sim.NewRNG(5), 8, 2, demands, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := new(int)
+	preds := map[string]Predictor{
+		"a": countingPred{sumPred{0.3}, calls},
+		"b": countingPred{sumPred{0.01}, calls},
+		"c": countingPred{sumPred{0.02}, calls},
+		"d": countingPred{sumPred{0.05}, calls},
+	}
+	scores := map[string]float64{"a": 0.5, "b": 0.5, "c": 6, "d": 3}
+	return p, preds, scores, calls
+}
+
+// TestDeltaPredictMatchesFull: DeltaPredict over all apps must reproduce
+// PredictPlacement exactly, cached or not.
+func TestDeltaPredictMatchesFull(t *testing.T) {
+	p, preds, scores, _ := deltaFixture(t)
+	want, err := PredictPlacement(p, preds, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cache := range []*PredictionCache{nil, NewPredictionCache()} {
+		got := map[string]float64{}
+		if err := DeltaPredict(p, p.Apps(), preds, scores, cache, got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d predictions, want %d", len(got), len(want))
+		}
+		for a, v := range want {
+			if got[a] != v {
+				t.Errorf("cache=%v: app %s = %v, want %v (bit-exact)", cache != nil, a, got[a], v)
+			}
+		}
+	}
+}
+
+// TestDeltaPredictAfterSwap: applying a swap and re-predicting only the
+// apps on the two touched hosts must agree bit-exactly with a full
+// re-prediction of the swapped placement.
+func TestDeltaPredictAfterSwap(t *testing.T) {
+	p, preds, scores, _ := deltaFixture(t)
+	cache := NewPredictionCache()
+	pred := map[string]float64{}
+	if err := DeltaPredict(p, p.Apps(), preds, scores, cache, pred); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(11)
+	for i := 0; i < 200; i++ {
+		ha, sa := rng.Intn(8), rng.Intn(2)
+		hb, sb := rng.Intn(8), rng.Intn(2)
+		if p.At(ha, sa) == p.At(hb, sb) {
+			continue
+		}
+		// Affected set: every app with a unit on either touched host.
+		affected := map[string]bool{}
+		for _, h := range []int{ha, hb} {
+			for _, a := range p.HostApps(h) {
+				affected[a] = true
+			}
+		}
+		if err := p.Swap(ha, sa, hb, sb); err != nil {
+			t.Fatal(err)
+		}
+		if p.Validate() != nil {
+			if err := p.Swap(ha, sa, hb, sb); err != nil { // undo
+				t.Fatal(err)
+			}
+			continue
+		}
+		var apps []string
+		for a := range affected {
+			apps = append(apps, a)
+		}
+		if err := DeltaPredict(p, apps, preds, scores, cache, pred); err != nil {
+			t.Fatal(err)
+		}
+		want, err := PredictPlacement(p, preds, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, v := range want {
+			if pred[a] != v {
+				t.Fatalf("step %d: app %s = %v after delta, want %v", i, a, pred[a], v)
+			}
+		}
+	}
+}
+
+// TestPredictionCacheHitsAndPurity: revisiting an identical placement
+// must hit the cache without calling the predictor again, and hits must
+// return the exact value of the original computation.
+func TestPredictionCacheHitsAndPurity(t *testing.T) {
+	p, preds, scores, calls := deltaFixture(t)
+	cache := NewPredictionCache()
+	first := map[string]float64{}
+	if err := DeltaPredict(p, p.Apps(), preds, scores, cache, first); err != nil {
+		t.Fatal(err)
+	}
+	callsAfterFirst := *calls
+	if callsAfterFirst == 0 {
+		t.Fatal("no predictor calls on cold cache")
+	}
+	second := map[string]float64{}
+	if err := DeltaPredict(p, p.Apps(), preds, scores, cache, second); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != callsAfterFirst {
+		t.Errorf("warm re-prediction called the predictor %d more times, want 0", *calls-callsAfterFirst)
+	}
+	for a, v := range first {
+		if second[a] != v {
+			t.Errorf("cache hit for %s returned %v, want %v", a, second[a], v)
+		}
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats hits=%d misses=%d, want both positive", hits, misses)
+	}
+	if cache.Len() == 0 {
+		t.Error("cache retained no entries")
+	}
+	// Distinct vectors must be distinct keys: change a score and predict
+	// under a different app name to avoid collisions.
+	var nilCache *PredictionCache
+	v, err := nilCache.Predict("a", preds["a"], []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := preds["a"].PredictPressures([]float64{1, 2}); v != want {
+		t.Errorf("nil cache Predict = %v, want %v", v, want)
+	}
+	if h, m := nilCache.Stats(); h != 0 || m != 0 {
+		t.Error("nil cache should report zero stats")
+	}
+	if nilCache.Len() != 0 {
+		t.Error("nil cache should report zero length")
+	}
+}
+
+// TestDeltaPredictErrors covers the failure paths.
+func TestDeltaPredictErrors(t *testing.T) {
+	p, preds, scores, _ := deltaFixture(t)
+	if err := DeltaPredict(nil, []string{"a"}, preds, scores, nil, map[string]float64{}); err == nil {
+		t.Error("nil placement should fail")
+	}
+	if err := DeltaPredict(p, []string{"a"}, preds, scores, nil, nil); err == nil {
+		t.Error("nil out map should fail")
+	}
+	if err := DeltaPredict(p, []string{"ghost"}, preds, scores, nil, map[string]float64{}); err == nil {
+		t.Error("unknown app should fail")
+	}
+	preds["ghost2"] = sumPred{1}
+	if err := DeltaPredict(p, []string{"ghost2"}, preds, scores, nil, map[string]float64{}); err == nil {
+		t.Error("app missing from placement should fail")
+	}
+	badScores := map[string]float64{"a": 0.5} // others missing
+	if err := DeltaPredict(p, []string{"a"}, preds, badScores, nil, map[string]float64{}); err == nil {
+		t.Error("missing co-runner score should fail")
+	}
+	failing := map[string]Predictor{"a": failPred{}, "b": sumPred{0}, "c": sumPred{0}, "d": sumPred{0}}
+	if err := DeltaPredict(p, []string{"a"}, failing, scores, NewPredictionCache(), map[string]float64{}); err == nil {
+		t.Error("predictor error should propagate")
+	}
+}
+
+type failPred struct{}
+
+func (failPred) PredictPressures([]float64) (float64, error) {
+	return 0, errors.New("boom")
+}

@@ -44,7 +44,7 @@ func (l *Lab) Energy() (Output, error) {
 		if err != nil {
 			return Output{}, err
 		}
-		randoms, err := placement.RandomOutcome(req, 5, l.Cfg.Seed+107)
+		randoms, err := placement.RandomOutcome(req, 5, l.Cfg.Seed+107, nil)
 		if err != nil {
 			return Output{}, err
 		}

@@ -241,7 +241,7 @@ func (l *Lab) figure11() (Output, error) {
 		if err != nil {
 			return Output{}, err
 		}
-		randoms, err := placement.RandomOutcome(req, 5, l.Cfg.Seed+41)
+		randoms, err := placement.RandomOutcome(req, 5, l.Cfg.Seed+41, nil)
 		if err != nil {
 			return Output{}, err
 		}

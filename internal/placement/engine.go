@@ -1,0 +1,308 @@
+// The incremental evaluation engine behind Search. A swap proposal
+// touches at most two hosts, so instead of cloning the placement and
+// re-predicting every application from scratch, each restart keeps a
+// per-app prediction map, applies the swap in place, re-predicts only
+// the applications with units on the touched hosts (core.DeltaPredict,
+// memoized by core.PredictionCache), and undoes the swap on rejection.
+// Restarts are independent — each draws from its own StreamN("restart",
+// i) RNG — so they run one goroutine each and are merged in restart
+// order, making the result bit-identical to a serial sweep.
+
+package placement
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// bestSnap is the comparable skeleton of a best-so-far Result, recorded
+// per step so multi-restart telemetry can be replayed in serial order.
+type bestSnap struct {
+	obj   float64
+	qosOK bool
+}
+
+// stepEmit receives one annealing step: the iteration index within the
+// restart, the temperature after cooling, and the restart-local best at
+// the top of the step (before the step's proposal is processed).
+type stepEmit func(it int, temp float64, bs bestSnap)
+
+// restartOutcome is everything one restart produces: its local best, the
+// counters a serial instrumented run would have accumulated, and (when
+// recording) the per-step best snapshots for deterministic replay.
+type restartOutcome struct {
+	best      Result
+	have      bool
+	evals     int
+	proposals uint64
+	accepted  uint64
+	rejected  uint64
+	invalid   uint64
+	hits      uint64 // prediction-cache hits
+	misses    uint64 // prediction-cache misses
+	finalTemp float64
+	bests     []bestSnap
+	err       error
+}
+
+// betterResult reports whether cand should replace best under the
+// search's acceptance order: feasibility first when a QoS constraint is
+// active, then strict objective improvement in the goal's direction.
+// Ties keep the incumbent, which is what makes restart-order merging
+// bit-identical to a serial sweep.
+func betterResult(qosEnabled bool, sign float64, cand Result, best Result, haveBest bool) bool {
+	switch {
+	case !haveBest:
+		return true
+	case qosEnabled && cand.QoSSatisfied && !best.QoSSatisfied:
+		return true
+	case qosEnabled && !cand.QoSSatisfied && best.QoSSatisfied:
+		return false
+	default:
+		return sign*cand.Objective < sign*best.Objective
+	}
+}
+
+// betterSnap is betterResult over the recorded skeletons.
+func betterSnap(qosEnabled bool, sign float64, cand, best bestSnap) bool {
+	switch {
+	case qosEnabled && cand.qosOK && !best.qosOK:
+		return true
+	case qosEnabled && !cand.qosOK && best.qosOK:
+		return false
+	default:
+		return sign*cand.obj < sign*best.obj
+	}
+}
+
+// incEval evaluates placements incrementally: it owns the current
+// per-app prediction map, a candidate mirror, and the memo cache. The
+// app list is fixed for the whole search (swaps conserve units), so the
+// weighted objective is accumulated in the same sorted-app order as
+// Objective — bit-identical to a full evaluate.
+type incEval struct {
+	req      Request
+	qos      *QoS
+	apps     []string  // sorted, fixed for the search
+	units    []float64 // parallel to apps
+	weight   float64   // total units, accumulated in apps order
+	pred     map[string]float64 // predictions for the current state
+	cand     map[string]float64 // mirror of pred with the proposal's deltas
+	cache    *core.PredictionCache
+	affected []string // scratch: apps touched by the pending proposal
+}
+
+// newIncEval fully predicts the initial placement (seeding the memo
+// cache) and fixes the app/unit weights.
+func newIncEval(p *cluster.Placement, req Request, qos *QoS) (*incEval, error) {
+	apps := p.Apps()
+	if len(apps) == 0 {
+		return nil, errors.New("placement: empty placement")
+	}
+	e := &incEval{
+		req:   req,
+		qos:   qos,
+		apps:  apps,
+		units: make([]float64, len(apps)),
+		pred:  make(map[string]float64, len(apps)),
+		cand:  make(map[string]float64, len(apps)),
+		cache: core.NewPredictionCache(),
+	}
+	for i, a := range apps {
+		w := float64(p.UnitsOf(a))
+		e.units[i] = w
+		e.weight += w
+	}
+	if err := core.DeltaPredict(p, e.apps, req.Predictors, req.Scores, e.cache, e.pred); err != nil {
+		return nil, err
+	}
+	for a, v := range e.pred {
+		e.cand[a] = v
+	}
+	return e, nil
+}
+
+// objective computes the unit-weighted mean of the given predictions in
+// sorted-app order, matching Objective's accumulation exactly.
+func (e *incEval) objective(pred map[string]float64) float64 {
+	var total float64
+	for i, a := range e.apps {
+		total += pred[a] * e.units[i]
+	}
+	return total / e.weight
+}
+
+// energy adds the QoS penalty to an objective, as evaluate does.
+func (e *incEval) energy(obj float64, pred map[string]float64) float64 {
+	if e.qos != nil {
+		if v, ok := pred[e.qos.App]; ok {
+			if excess := v - e.qos.MaxNormalized; excess > 0 {
+				return obj + qosPenaltyWeight*excess
+			}
+		}
+	}
+	return obj
+}
+
+// evalSwapped scores p, which must already have the pending swap of
+// hosts ha/hb applied, by re-predicting only the apps with units on
+// those hosts. The deltas live in e.cand until accept or reject is
+// called (exactly one of which must follow).
+func (e *incEval) evalSwapped(p *cluster.Placement, ha, hb int) (obj, energy float64, err error) {
+	e.affected = e.affected[:0]
+	e.collectHost(p, ha)
+	if hb != ha {
+		e.collectHost(p, hb)
+	}
+	if err := core.DeltaPredict(p, e.affected, e.req.Predictors, e.req.Scores, e.cache, e.cand); err != nil {
+		return 0, 0, err
+	}
+	obj = e.objective(e.cand)
+	return obj, e.energy(obj, e.cand), nil
+}
+
+// collectHost appends the distinct apps on host h to e.affected.
+func (e *incEval) collectHost(p *cluster.Placement, h int) {
+	for s := 0; s < p.HostSlots; s++ {
+		a := p.At(h, s)
+		if a == "" {
+			continue
+		}
+		dup := false
+		for _, seen := range e.affected {
+			if seen == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.affected = append(e.affected, a)
+		}
+	}
+}
+
+// accept commits the pending proposal's deltas into the current map.
+func (e *incEval) accept() {
+	for _, a := range e.affected {
+		e.pred[a] = e.cand[a]
+	}
+}
+
+// reject rolls the candidate mirror back to the current predictions.
+func (e *incEval) reject() {
+	for _, a := range e.affected {
+		e.cand[a] = e.pred[a]
+	}
+}
+
+// snapshot copies the current predictions for a Result.
+func (e *incEval) snapshot() map[string]float64 {
+	pc := make(map[string]float64, len(e.pred))
+	for a, v := range e.pred {
+		pc[a] = v
+	}
+	return pc
+}
+
+// runRestart executes one independent annealing restart on r. When
+// record is true it fills o.bests with one snapshot per step; when live
+// is non-nil it additionally emits each step as it happens (used for
+// restart 0, whose steps lead the serial order).
+func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, live stepEmit) (o restartOutcome) {
+	span := cfg.Tracer.StartSpan("placement.restart")
+	defer span.End()
+
+	cur, err := cluster.RandomValidLimit(r.Stream("init"), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	e, err := newIncEval(cur, req, cfg.QoS)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	o.evals++
+	curObj := e.objective(e.pred)
+	curEnergy := e.energy(curObj, e.pred)
+
+	consider := func(p *cluster.Placement, obj float64) {
+		qosOK := cfg.QoS == nil || e.pred[cfg.QoS.App] <= cfg.QoS.MaxNormalized
+		cand := Result{Objective: obj, QoSSatisfied: qosOK}
+		if betterResult(cfg.QoS != nil, sign, cand, o.best, o.have) {
+			cand.Placement = p.Clone()
+			cand.Predicted = e.snapshot()
+			o.best = cand
+			o.have = true
+		}
+	}
+	consider(cur, curObj)
+
+	if record {
+		o.bests = make([]bestSnap, cfg.Iterations)
+	}
+	temp := cfg.InitTemp
+	slots := req.NumHosts * req.SlotsPerHost
+	for it := 0; it < cfg.Iterations; it++ {
+		temp *= cfg.CoolRate
+		bs := bestSnap{obj: o.best.Objective, qosOK: o.best.QoSSatisfied}
+		if record {
+			o.bests[it] = bs
+		}
+		if live != nil {
+			live(it, temp, bs)
+		}
+		// Propose: swap two slots holding different contents.
+		a := r.Intn(slots)
+		b := r.Intn(slots)
+		ha, sa := a/req.SlotsPerHost, a%req.SlotsPerHost
+		hb, sb := b/req.SlotsPerHost, b%req.SlotsPerHost
+		if cur.At(ha, sa) == cur.At(hb, sb) {
+			continue
+		}
+		if err := cur.Swap(ha, sa, hb, sb); err != nil {
+			o.err = err
+			return o
+		}
+		if cur.ValidateHosts(ha, hb) != nil {
+			o.invalid++
+			if err := cur.Swap(ha, sa, hb, sb); err != nil { // undo
+				o.err = err
+				return o
+			}
+			continue
+		}
+		candObj, candEnergy, err := e.evalSwapped(cur, ha, hb)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		o.evals++
+		o.proposals++
+		delta := sign * (candEnergy - curEnergy)
+		accept := delta <= 0
+		if !accept && cfg.Method == Anneal {
+			accept = r.Float64() < math.Exp(-delta/math.Max(temp, 1e-9))
+		}
+		if accept {
+			o.accepted++
+			e.accept()
+			curObj, curEnergy = candObj, candEnergy
+			consider(cur, curObj)
+		} else {
+			o.rejected++
+			e.reject()
+			if err := cur.Swap(ha, sa, hb, sb); err != nil { // undo
+				o.err = err
+				return o
+			}
+		}
+	}
+	o.finalTemp = temp
+	o.hits, o.misses = e.cache.Stats()
+	return o
+}

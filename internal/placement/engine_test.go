@@ -1,0 +1,238 @@
+package placement
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestIncrementalMatchesFullEvaluate drives incEval through a long
+// random swap sequence and checks, at every step, that the incremental
+// objective and energy agree bit-exactly with a from-scratch evaluate of
+// the same placement — for proposals, accepted states, and rejected
+// (rolled back) states alike.
+func TestIncrementalMatchesFullEvaluate(t *testing.T) {
+	for _, qos := range []*QoS{nil, {App: "sens", MaxNormalized: 1.5}} {
+		req := testRequest()
+		r := sim.NewRNG(17).Stream("prop")
+		cur, err := cluster.RandomValidLimit(r.Stream("init"), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := newIncEval(cur, req, qos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(step int, obj, energy float64) {
+			t.Helper()
+			wantObj, wantEnergy, wantPred, err := evaluate(cur, req, qos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj != wantObj || energy != wantEnergy {
+				t.Fatalf("qos=%v step %d: incremental (obj=%x energy=%x), full (obj=%x energy=%x)",
+					qos != nil, step, obj, energy, wantObj, wantEnergy)
+			}
+			for a, v := range wantPred {
+				if e.pred[a] != v {
+					t.Fatalf("qos=%v step %d: pred[%s]=%x, want %x", qos != nil, step, a, e.pred[a], v)
+				}
+			}
+		}
+		check(-1, e.objective(e.pred), e.energy(e.objective(e.pred), e.pred))
+
+		slots := req.NumHosts * req.SlotsPerHost
+		for i := 0; i < 400; i++ {
+			a, b := r.Intn(slots), r.Intn(slots)
+			ha, sa := a/req.SlotsPerHost, a%req.SlotsPerHost
+			hb, sb := b/req.SlotsPerHost, b%req.SlotsPerHost
+			if cur.At(ha, sa) == cur.At(hb, sb) {
+				continue
+			}
+			if err := cur.Swap(ha, sa, hb, sb); err != nil {
+				t.Fatal(err)
+			}
+			if cur.ValidateHosts(ha, hb) != nil {
+				if err := cur.Swap(ha, sa, hb, sb); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			obj, energy, err := e.evalSwapped(cur, ha, hb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Float64() < 0.5 {
+				e.accept()
+				check(i, obj, energy)
+			} else {
+				e.reject()
+				if err := cur.Swap(ha, sa, hb, sb); err != nil {
+					t.Fatal(err)
+				}
+				prev := e.objective(e.pred)
+				check(i, prev, e.energy(prev, e.pred))
+			}
+		}
+	}
+}
+
+// TestSearchResultMatchesFullEvaluate: the returned best must carry the
+// objective and predictions a from-scratch evaluation of its placement
+// produces — the incremental bookkeeping may never drift.
+func TestSearchResultMatchesFullEvaluate(t *testing.T) {
+	req := testRequest()
+	cfg := DefaultConfig(23)
+	cfg.Iterations = 800
+	cfg.Restarts = 3
+	best, err := Search(req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _, pred, err := evaluate(best.Placement, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Objective != obj {
+		t.Errorf("result objective %x, full evaluate %x", best.Objective, obj)
+	}
+	for a, v := range pred {
+		if best.Predicted[a] != v {
+			t.Errorf("predicted[%s]=%x, want %x", a, best.Predicted[a], v)
+		}
+	}
+}
+
+// TestParallelRestartsDeterministic: the goroutine-per-restart search
+// must be a pure function of the seed — identical Result and identical
+// telemetry (counters and both convergence series) on every run. Run
+// under -race this also exercises the merge for data races.
+func TestParallelRestartsDeterministic(t *testing.T) {
+	run := func() (Result, *telemetry.Registry) {
+		req := testRequest()
+		reg := telemetry.NewRegistry()
+		cfg := DefaultConfig(99)
+		cfg.Iterations = 600
+		cfg.Restarts = 6
+		cfg.Telemetry = reg
+		var steps []ProgressSample
+		cfg.OnProgress = func(s ProgressSample) { steps = append(steps, s) }
+		best, err := Search(req, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(steps) != cfg.Restarts*cfg.Iterations {
+			t.Fatalf("got %d progress samples, want %d", len(steps), cfg.Restarts*cfg.Iterations)
+		}
+		for i, s := range steps {
+			if s.Step != i+1 {
+				t.Fatalf("progress sample %d has step %d, want serial order", i, s.Step)
+			}
+		}
+		return best, reg
+	}
+	a, ra := run()
+	b, rb := run()
+	if math.Float64bits(a.Objective) != math.Float64bits(b.Objective) {
+		t.Errorf("objectives differ: %x vs %x", a.Objective, b.Objective)
+	}
+	if a.Placement.String() != b.Placement.String() {
+		t.Error("placements differ between identical runs")
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Errorf("evaluations differ: %d vs %d", a.Evaluations, b.Evaluations)
+	}
+	sa, sb := ra.Snapshot(), rb.Snapshot()
+	if len(sa.Counters) != len(sb.Counters) {
+		t.Fatalf("counter sets differ: %d vs %d", len(sa.Counters), len(sb.Counters))
+	}
+	for name, v := range sa.Counters {
+		if sb.Counters[name] != v {
+			t.Errorf("counter %s: %d vs %d", name, v, sb.Counters[name])
+		}
+	}
+	for name, pts := range sa.Series {
+		other := sb.Series[name]
+		if len(pts) != len(other) {
+			t.Fatalf("series %s length differs: %d vs %d", name, len(pts), len(other))
+		}
+		for j := range pts {
+			if pts[j] != other[j] {
+				t.Fatalf("series %s point %d differs: %+v vs %+v", name, j, pts[j], other[j])
+			}
+		}
+	}
+	if sa.Counters[MetricPredCacheHits] == 0 {
+		t.Error("prediction cache recorded no hits over 3600 annealing steps")
+	}
+}
+
+// TestQoSWithWorstGoalRejected: regression for the silent sign
+// inversion — a Worst-goal search with a QoS constraint used to reward
+// violating the constraint instead of enforcing it.
+func TestQoSWithWorstGoalRejected(t *testing.T) {
+	req := testRequest()
+	cfg := DefaultConfig(1)
+	cfg.Goal = Worst
+	cfg.QoS = &QoS{App: "sens", MaxNormalized: 2}
+	_, err := Search(req, cfg)
+	if err == nil {
+		t.Fatal("QoS with Goal Worst should be rejected")
+	}
+	if !strings.Contains(err.Error(), "Goal Worst") {
+		t.Errorf("error should explain the Goal Worst conflict, got: %v", err)
+	}
+}
+
+// TestRandomOutcomeEvaluatesQoS: regression for the hardcoded
+// QoSSatisfied=true — samples must be checked against the supplied
+// constraint.
+func TestRandomOutcomeEvaluatesQoS(t *testing.T) {
+	req := testRequest()
+	// A bound of exactly 1 is only met when "sens" runs fully isolated;
+	// random placements essentially never achieve that.
+	tight := &QoS{App: "sens", MaxNormalized: 1}
+	out, err := RandomOutcome(req, 8, 3, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := 0
+	for _, r := range out {
+		want := r.Predicted["sens"] <= tight.MaxNormalized
+		if r.QoSSatisfied != want {
+			t.Errorf("QoSSatisfied=%v but predicted sens=%v vs bound %v", r.QoSSatisfied, r.Predicted["sens"], tight.MaxNormalized)
+		}
+		if !r.QoSSatisfied {
+			violated++
+		}
+	}
+	if violated == 0 {
+		t.Error("expected at least one random placement to violate the tight bound")
+	}
+	// A generous bound is satisfied by everything; nil stays vacuously true.
+	loose, err := RandomOutcome(req, 4, 3, &QoS{App: "sens", MaxNormalized: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range loose {
+		if !r.QoSSatisfied {
+			t.Error("generous bound should be satisfied")
+		}
+	}
+	none, err := RandomOutcome(req, 4, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range none {
+		if !r.QoSSatisfied {
+			t.Error("nil constraint should be vacuously satisfied")
+		}
+	}
+	if _, err := RandomOutcome(req, 2, 1, &QoS{App: "ghost", MaxNormalized: 2}); err == nil {
+		t.Error("unknown QoS app should be rejected")
+	}
+}

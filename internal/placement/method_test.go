@@ -57,7 +57,7 @@ func TestHillClimbNotWorseThanRandom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rnd, err := RandomOutcome(req, 5, 21)
+	rnd, err := RandomOutcome(req, 5, 21, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -153,6 +153,9 @@ const (
 	MetricAcceptanceRate = "placement_acceptance_rate"
 	MetricBestObjective  = "placement_best_objective"
 	MetricFinalTemp      = "placement_final_temperature"
+	// Prediction-memo cache traffic across all restarts of a search.
+	MetricPredCacheHits   = "placement_prediction_cache_hits_total"
+	MetricPredCacheMisses = "placement_prediction_cache_misses_total"
 	// SeriesTemperature and SeriesBestObjective are convergence series:
 	// x is the global step index across restarts, y the temperature and
 	// the best objective seen so far, respectively.
@@ -223,6 +226,22 @@ func evaluate(p *cluster.Placement, req Request, qos *QoS) (obj, energy float64,
 
 // Search runs the annealing placement search and returns the best
 // placement found across restarts.
+//
+// Each restart is an independent trajectory on its own derived RNG
+// stream, so the restarts run in parallel (one goroutine each) and are
+// merged in restart order — the Result is bit-identical to a serial
+// sweep for a given seed. Proposals are scored incrementally: a swap
+// touches at most two hosts, so only the applications with units there
+// are re-predicted (core.DeltaPredict, memoized per restart by a
+// core.PredictionCache), and the swap is applied in place and undone on
+// rejection instead of cloning the placement.
+//
+// Telemetry series and OnProgress samples are emitted live for the
+// first restart (whose steps lead the serial order) and replayed in
+// deterministic serial order for the remaining restarts once they have
+// joined — so multi-restart progress for restarts beyond the first
+// arrives only after the search completes, with values identical to a
+// serial run.
 func Search(req Request, cfg Config) (Result, error) {
 	if err := req.validate(); err != nil {
 		return Result{}, err
@@ -241,6 +260,13 @@ func Search(req Request, cfg Config) (Result, error) {
 		cfg.CoolRate = math.Pow(1e-3, 1/float64(cfg.Iterations))
 	}
 	if cfg.QoS != nil {
+		if cfg.Goal == Worst {
+			// With Goal Worst the acceptance delta is negated, which
+			// would turn the QoS penalty into a reward for violating
+			// the constraint — the search would actively hunt
+			// infeasible placements.
+			return Result{}, errors.New("placement: QoS constraint cannot be combined with Goal Worst (the inverted search direction rewards violating the constraint); drop the QoS or use Goal Best")
+		}
 		if cfg.QoS.MaxNormalized < 1 {
 			return Result{}, fmt.Errorf("placement: QoS bound %v below 1 is unsatisfiable", cfg.QoS.MaxNormalized)
 		}
@@ -261,133 +287,113 @@ func Search(req Request, cfg Config) (Result, error) {
 	}
 
 	rng := sim.NewRNG(cfg.Seed).Stream("placement")
-	var best Result
-	haveBest := false
-	evals := 0
+	record := cfg.Telemetry != nil || cfg.OnProgress != nil
 
-	// Optional telemetry; all handles stay nil on an uninstrumented
-	// search so the hot loop pays only nil checks.
-	var itersC, propC, accC, rejC, invC *telemetry.Counter
+	// Optional telemetry; everything stays nil on an uninstrumented
+	// search so the restarts pay nothing.
 	var tempSeries, bestSeries *telemetry.Series
 	if cfg.Telemetry != nil {
-		itersC = cfg.Telemetry.Counter(MetricIterations)
-		propC = cfg.Telemetry.Counter(MetricProposals)
-		accC = cfg.Telemetry.Counter(MetricAccepted)
-		rejC = cfg.Telemetry.Counter(MetricRejected)
-		invC = cfg.Telemetry.Counter(MetricInvalid)
 		tempSeries = cfg.Telemetry.Series(SeriesTemperature)
 		bestSeries = cfg.Telemetry.Series(SeriesBestObjective)
 	}
-	step := 0
-	finalTemp := cfg.InitTemp
+	// emit publishes one step of one restart with the merged
+	// best-so-far snapshot a serial run would have seen at that step.
+	emit := func(restart, it int, temp float64, bs bestSnap) {
+		step := restart*cfg.Iterations + it + 1
+		if tempSeries != nil {
+			tempSeries.Append(float64(step), temp)
+			bestSeries.Append(float64(step), bs.obj)
+		}
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(ProgressSample{
+				Restart: restart, Step: step,
+				Temperature: temp, BestObjective: bs.obj,
+			})
+		}
+	}
 
-	for restart := 0; restart < cfg.Restarts; restart++ {
-		span := cfg.Tracer.StartSpan("placement.restart")
-		r := rng.StreamN("restart", restart)
-		cur, err := cluster.RandomValidLimit(r.Stream("init"), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
-		if err != nil {
-			return Result{}, err
+	outs := make([]restartOutcome, cfg.Restarts)
+	done := make(chan struct{})
+	for i := 1; i < cfg.Restarts; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			outs[i] = runRestart(req, cfg, sign, rng.StreamN("restart", i), record, nil)
+		}(i)
+	}
+	// Restart 0 runs on the calling goroutine; its steps lead the serial
+	// order, so it can emit live (its local best IS the merged best).
+	var live stepEmit
+	if record {
+		live = func(it int, temp float64, bs bestSnap) { emit(0, it, temp, bs) }
+	}
+	outs[0] = runRestart(req, cfg, sign, rng.StreamN("restart", 0), record, live)
+	for i := 1; i < cfg.Restarts; i++ {
+		<-done
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return Result{}, outs[i].err
 		}
-		curObj, curEnergy, curPred, err := evaluate(cur, req, cfg.QoS)
-		if err != nil {
-			return Result{}, err
-		}
-		evals++
-		consider := func(p *cluster.Placement, obj float64, pred map[string]float64) {
-			qosOK := cfg.QoS == nil || pred[cfg.QoS.App] <= cfg.QoS.MaxNormalized
-			better := false
-			switch {
-			case !haveBest:
-				better = true
-			case cfg.QoS != nil && qosOK && !best.QoSSatisfied:
-				better = true // feasibility first
-			case cfg.QoS != nil && !qosOK && best.QoSSatisfied:
-				better = false
-			default:
-				better = sign*obj < sign*best.Objective
-			}
-			if better {
-				pc := map[string]float64{}
-				for k, v := range pred {
-					pc[k] = v
-				}
-				best = Result{
-					Placement:    p.Clone(),
-					Predicted:    pc,
-					Objective:    obj,
-					QoSSatisfied: qosOK,
-				}
-				haveBest = true
-			}
-		}
-		consider(cur, curObj, curPred)
+	}
 
-		temp := cfg.InitTemp
-		slots := req.NumHosts * req.SlotsPerHost
-		for it := 0; it < cfg.Iterations; it++ {
-			temp *= cfg.CoolRate
-			step++
-			if itersC != nil {
-				itersC.Inc()
-				tempSeries.Append(float64(step), temp)
-				bestSeries.Append(float64(step), best.Objective)
-			}
-			if cfg.OnProgress != nil {
-				cfg.OnProgress(ProgressSample{
-					Restart: restart, Step: step,
-					Temperature: temp, BestObjective: best.Objective,
-				})
-			}
-			// Propose: swap two slots holding different contents.
-			a := r.Intn(slots)
-			b := r.Intn(slots)
-			ha, sa := a/req.SlotsPerHost, a%req.SlotsPerHost
-			hb, sb := b/req.SlotsPerHost, b%req.SlotsPerHost
-			if cur.At(ha, sa) == cur.At(hb, sb) {
-				continue
-			}
-			cand := cur.Clone()
-			if err := cand.Swap(ha, sa, hb, sb); err != nil {
-				return Result{}, err
-			}
-			if cand.Validate() != nil {
-				if invC != nil {
-					invC.Inc()
-				}
-				continue
-			}
-			candObj, candEnergy, candPred, err := evaluate(cand, req, cfg.QoS)
-			if err != nil {
-				return Result{}, err
-			}
-			evals++
-			if propC != nil {
-				propC.Inc()
-			}
-			delta := sign * (candEnergy - curEnergy)
-			accept := delta <= 0
-			if !accept && cfg.Method == Anneal {
-				accept = r.Float64() < math.Exp(-delta/math.Max(temp, 1e-9))
-			}
-			if accept {
-				if accC != nil {
-					accC.Inc()
-				}
-				cur, curObj, curEnergy, curPred = cand, candObj, candEnergy, candPred
-				consider(cur, curObj, curPred)
-			} else if rejC != nil {
-				rejC.Inc()
-			}
+	// Deterministic merge in restart order: ties keep the earlier
+	// restart, exactly as a serial sweep's strict-improvement rule does.
+	var best Result
+	haveBest := false
+	evals := 0
+	for i := range outs {
+		evals += outs[i].evals
+		if outs[i].have && betterResult(cfg.QoS != nil, sign, outs[i].best, best, haveBest) {
+			best = outs[i].best
+			haveBest = true
 		}
-		finalTemp = temp
-		span.End()
 	}
 	best.Evaluations = evals
+
+	// Replay the buffered restarts in serial order, merging each step's
+	// restart-local best with the best of all earlier restarts.
+	if record && cfg.Restarts > 1 {
+		merged := bestSnap{obj: outs[0].best.Objective, qosOK: outs[0].best.QoSSatisfied}
+		for r := 1; r < cfg.Restarts; r++ {
+			temp := cfg.InitTemp
+			for it := 0; it < cfg.Iterations; it++ {
+				temp *= cfg.CoolRate
+				bs := outs[r].bests[it]
+				if !betterSnap(cfg.QoS != nil, sign, bs, merged) {
+					bs = merged
+				}
+				emit(r, it, temp, bs)
+			}
+			fin := bestSnap{obj: outs[r].best.Objective, qosOK: outs[r].best.QoSSatisfied}
+			if betterSnap(cfg.QoS != nil, sign, fin, merged) {
+				merged = fin
+			}
+		}
+	}
+
 	if cfg.Telemetry != nil {
+		var prop, acc, rej, inv, hits, misses uint64
+		for i := range outs {
+			prop += outs[i].proposals
+			acc += outs[i].accepted
+			rej += outs[i].rejected
+			inv += outs[i].invalid
+			hits += outs[i].hits
+			misses += outs[i].misses
+		}
+		cfg.Telemetry.Counter(MetricIterations).Add(uint64(cfg.Restarts) * uint64(cfg.Iterations))
+		propC := cfg.Telemetry.Counter(MetricProposals)
+		propC.Add(prop)
+		accC := cfg.Telemetry.Counter(MetricAccepted)
+		accC.Add(acc)
+		cfg.Telemetry.Counter(MetricRejected).Add(rej)
+		cfg.Telemetry.Counter(MetricInvalid).Add(inv)
+		cfg.Telemetry.Counter(MetricPredCacheHits).Add(hits)
+		cfg.Telemetry.Counter(MetricPredCacheMisses).Add(misses)
 		cfg.Telemetry.Counter(MetricRestarts).Add(uint64(cfg.Restarts))
 		cfg.Telemetry.Counter(MetricEvaluations).Add(uint64(evals))
 		cfg.Telemetry.Gauge(MetricBestObjective).Set(best.Objective)
-		cfg.Telemetry.Gauge(MetricFinalTemp).Set(finalTemp)
+		cfg.Telemetry.Gauge(MetricFinalTemp).Set(outs[cfg.Restarts-1].finalTemp)
 		if p := propC.Value(); p > 0 {
 			cfg.Telemetry.Gauge(MetricAcceptanceRate).Set(float64(accC.Value()) / float64(p))
 		}
@@ -397,13 +403,26 @@ func Search(req Request, cfg Config) (Result, error) {
 
 // RandomOutcome evaluates n random valid placements with the model and
 // returns their placements and objectives (the paper's Random baseline
-// averages five of these).
-func RandomOutcome(req Request, n int, seed int64) ([]Result, error) {
+// averages five of these). When qos is non-nil each sample's
+// QoSSatisfied reflects whether that placement actually meets the
+// constraint; with no constraint it is vacuously true.
+func RandomOutcome(req Request, n int, seed int64, qos *QoS) ([]Result, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
 	if n <= 0 {
 		return nil, errors.New("placement: non-positive sample count")
+	}
+	if qos != nil {
+		found := false
+		for _, d := range req.Demands {
+			if d.App == qos.App {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("placement: QoS app %q not among demands", qos.App)
+		}
 	}
 	rng := sim.NewRNG(seed).Stream("random-placements")
 	out := make([]Result, 0, n)
@@ -412,11 +431,12 @@ func RandomOutcome(req Request, n int, seed int64) ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		obj, _, pred, err := evaluate(p, req, nil)
+		obj, _, pred, err := evaluate(p, req, qos)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Result{Placement: p, Predicted: pred, Objective: obj, QoSSatisfied: true})
+		qosOK := qos == nil || pred[qos.App] <= qos.MaxNormalized
+		out = append(out, Result{Placement: p, Predicted: pred, Objective: obj, QoSSatisfied: qosOK})
 	}
 	return out, nil
 }

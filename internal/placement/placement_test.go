@@ -98,7 +98,7 @@ func TestSearchFindsGoodPlacement(t *testing.T) {
 		t.Errorf("worst objective %v should exceed best %v", worst.Objective, best.Objective)
 	}
 	// Random placements must fall between the two bounds on average.
-	rnd, err := RandomOutcome(req, 5, 3)
+	rnd, err := RandomOutcome(req, 5, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,15 +191,15 @@ func TestObjectiveWeighting(t *testing.T) {
 
 func TestRandomOutcomeValidation(t *testing.T) {
 	req := testRequest()
-	if _, err := RandomOutcome(req, 0, 1); err == nil {
+	if _, err := RandomOutcome(req, 0, 1, nil); err == nil {
 		t.Error("zero samples should fail")
 	}
 	bad := testRequest()
 	bad.Demands = nil
-	if _, err := RandomOutcome(bad, 3, 1); err == nil {
+	if _, err := RandomOutcome(bad, 3, 1, nil); err == nil {
 		t.Error("invalid request should fail")
 	}
-	out, err := RandomOutcome(req, 4, 9)
+	out, err := RandomOutcome(req, 4, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,6 +52,16 @@ type Matrix struct {
 	Nodes     int // number of hosts m (columns 0..m)
 	cells     [][]float64
 	prov      [][]Provenance
+	// complete caches a successful Complete() scan. The flag is monotonic
+	// and needs no invalidation: SetProv rejects NaN values, so a filled
+	// cell can never become unset again — once the matrix is complete it
+	// stays complete. While the matrix is still incomplete the flag stays
+	// false and Complete() rescans, so At keeps returning the same
+	// "matrix incomplete" error for stale matrices.
+	complete bool
+	// completeScans counts full completeness scans (white-box test hook
+	// pinning that At does not rescan on every prediction).
+	completeScans int
 }
 
 // NewMatrix returns a matrix with every measurable cell unset (NaN) and
@@ -116,8 +126,15 @@ func (m *Matrix) ProvenanceCounts() map[string]int {
 // Cell returns the stored value for (i, j); NaN when unset.
 func (m *Matrix) Cell(i, j int) float64 { return m.cells[i][j] }
 
-// Complete reports whether every cell has been filled.
+// Complete reports whether every cell has been filled. The first
+// successful scan is cached (completeness is monotonic — cells can never
+// be unset), so the per-prediction completeness check in At is a single
+// branch instead of an O(pressures×nodes) rescan.
 func (m *Matrix) Complete() bool {
+	if m.complete {
+		return true
+	}
+	m.completeScans++
 	for i := range m.cells {
 		for _, v := range m.cells[i] {
 			if math.IsNaN(v) {
@@ -125,6 +142,7 @@ func (m *Matrix) Complete() bool {
 			}
 		}
 	}
+	m.complete = true
 	return true
 }
 
@@ -201,5 +219,6 @@ func (m *Matrix) Clone() *Matrix {
 		copy(c.cells[i], m.cells[i])
 		copy(c.prov[i], m.prov[i])
 	}
+	c.complete = m.complete
 	return c
 }

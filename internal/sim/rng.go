@@ -10,6 +10,13 @@ import (
 // substreams by name so that adding a new consumer of randomness does not
 // perturb the draws seen by existing consumers — a property plain shared
 // rand.Rand lacks and which keeps every figure in EXPERIMENTS.md stable.
+//
+// The underlying source is seeded lazily on the first draw: seeding the
+// legacy math/rand generator is far more expensive than deriving a
+// stream, and many derived streams (per-node jitter streams with zero
+// noise, for one) are never drawn from at all. Laziness never changes a
+// sequence — a source seeded with the same seed produces the same draws
+// no matter when it is created.
 type RNG struct {
 	seed int64
 	r    *rand.Rand
@@ -17,7 +24,15 @@ type RNG struct {
 
 // NewRNG returns a stream seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
+	return &RNG{seed: seed}
+}
+
+// src returns the underlying generator, seeding it on first use.
+func (g *RNG) src() *rand.Rand {
+	if g.r == nil {
+		g.r = rand.New(rand.NewSource(g.seed))
+	}
+	return g.r
 }
 
 // Seed returns the seed this stream was created with.
@@ -60,23 +75,23 @@ func (g *RNG) StreamN(name string, n int) *RNG {
 }
 
 // Float64 returns a uniform draw in [0,1).
-func (g *RNG) Float64() float64 { return g.r.Float64() }
+func (g *RNG) Float64() float64 { return g.src().Float64() }
 
 // Intn returns a uniform draw in [0,n). It panics if n <= 0, matching
 // math/rand semantics.
-func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+func (g *RNG) Intn(n int) int { return g.src().Intn(n) }
 
 // Uniform returns a uniform draw in [lo, hi).
-func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.src().Float64() }
 
 // Normal returns a normal draw with the given mean and standard deviation.
-func (g *RNG) Normal(mean, sd float64) float64 { return mean + sd*g.r.NormFloat64() }
+func (g *RNG) Normal(mean, sd float64) float64 { return mean + sd*g.src().NormFloat64() }
 
 // LogNormal returns a draw whose logarithm is normal with parameters mu and
 // sigma. For small sigma it is a gentle multiplicative jitter around
 // exp(mu), which is how per-iteration compute noise is modelled.
 func (g *RNG) LogNormal(mu, sigma float64) float64 {
-	return math.Exp(mu + sigma*g.r.NormFloat64())
+	return math.Exp(mu + sigma*g.src().NormFloat64())
 }
 
 // JitterAround1 returns a lognormal multiplicative factor with unit mean
@@ -89,13 +104,13 @@ func (g *RNG) JitterAround1(sigma float64) float64 {
 }
 
 // Perm returns a random permutation of [0,n).
-func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+func (g *RNG) Perm(n int) []int { return g.src().Perm(n) }
 
 // Shuffle randomizes the order of n elements using swap.
-func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.src().Shuffle(n, swap) }
 
 // Bool returns true with probability p.
-func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+func (g *RNG) Bool(p float64) bool { return g.src().Float64() < p }
 
 // Exp returns an exponential draw with the given mean (not rate). A
 // non-positive mean returns 0.
@@ -103,5 +118,5 @@ func (g *RNG) Exp(mean float64) float64 {
 	if mean <= 0 {
 		return 0
 	}
-	return g.r.ExpFloat64() * mean
+	return g.src().ExpFloat64() * mean
 }
