@@ -31,6 +31,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/placement"
 	"repro/internal/profile"
@@ -273,6 +274,69 @@ func BenchmarkDeltaPredict(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPlacementSearchFaults measures the search on a degraded
+// cluster: two hosts down, demands shrunk to fit the surviving slots.
+// Tracks the overhead of the down-host guards in the swap loop.
+func BenchmarkPlacementSearchFaults(b *testing.B) {
+	req := benchPlacementRequest()
+	for i := range req.Demands {
+		req.Demands[i].Units = 3 // 12 units on 12 surviving slots
+	}
+	req.DownHosts = []int{2, 5}
+	cfg := placement.DefaultConfig(1)
+	cfg.Iterations = 1000
+	cfg.Restarts = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := placement.Search(req, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResilientPredict measures a tagged prediction through the
+// graceful-degradation path: a partial (cell-lossy) primary model with a
+// naive fallback behind it.
+func BenchmarkResilientPredict(b *testing.B) {
+	l := lab(b)
+	m, err := l.Model("M.milc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive, err := BuildNaiveModel(l.Env, mustWorkload(b, "M.milc"), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj, err := fault.New(fault.Plan{
+		Seed:   1,
+		Faults: []fault.Fault{{Kind: fault.ProfileCellLoss, Fraction: 0.2}},
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj.Activate(0)
+	lossy := *m
+	lossy.Matrix = inj.ApplyCellLoss(m.Matrix, "M.milc")
+	res := core.NewResilient("M.milc", core.Partial{M: &lossy}, naive, nil)
+	pressures := []float64{6, 4, 2, 0, 0, 1, 0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := res.PredictTagged(pressures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustWorkload(b *testing.B, name string) Workload {
+	b.Helper()
+	w, err := WorkloadByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
 }
 
 // predictorFunc adapts a closure to core.Predictor.

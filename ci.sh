@@ -14,10 +14,19 @@ go build ./...
 go build -o /dev/null ./cmd/interfd ./cmd/benchdiff
 echo "== go test -race (incl. internal/obs + cmd/interfd handler tests) =="
 go test -race ./...
-echo "== go test -race -count=2 (search determinism: placement/core/profile) =="
-# The parallel placement search must be a pure function of the seed; run
-# its packages twice uncached so nondeterminism across runs is caught.
-go test -race -count=2 ./internal/placement ./internal/core ./internal/profile
+echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim) =="
+# The parallel placement search and the fault plan must be pure functions
+# of the seed; run their packages twice uncached so nondeterminism across
+# runs is caught.
+go test -race -count=2 ./internal/placement ./internal/core ./internal/profile \
+  ./internal/fault ./internal/sim
+
+echo "== fuzz smoke (10s per target) =="
+# Short exploratory runs of the committed fuzz targets; the committed
+# seed corpora in testdata/fuzz already replayed as part of go test above.
+go test -run '^$' -fuzz '^FuzzMatrixAt$' -fuzztime 10s ./internal/profile
+go test -run '^$' -fuzz '^FuzzSetProv$' -fuzztime 10s ./internal/profile
+go test -run '^$' -fuzz '^FuzzHeteroPolicies$' -fuzztime 10s ./internal/hetero
 
 echo "== benchdiff gate =="
 # Self-check the gate itself: the committed baseline must pass against
@@ -28,7 +37,15 @@ if go run ./cmd/benchdiff -quiet BENCH_telemetry.json cmd/benchdiff/testdata/ben
   echo "ci: benchdiff failed to flag the synthetic regression fixture" >&2
   exit 1
 fi
-echo "benchdiff gate: baseline ok, synthetic regression correctly rejected"
+# A benchmark silently disappearing must also fail the gate (and only
+# -allow-missing may tolerate it), so the gate can't be dodged by
+# deleting the slow benchmark.
+if go run ./cmd/benchdiff -quiet BENCH_telemetry.json cmd/benchdiff/testdata/bench_missing.json >/dev/null 2>&1; then
+  echo "ci: benchdiff failed to flag the missing-benchmark fixture" >&2
+  exit 1
+fi
+go run ./cmd/benchdiff -quiet -allow-missing BENCH_telemetry.json cmd/benchdiff/testdata/bench_missing.json >/dev/null
+echo "benchdiff gate: baseline ok, synthetic regression and missing benchmark correctly rejected"
 
 # With CI_BENCH=1 the gate also reruns the real benchmarks and compares
 # the fresh numbers against the committed baseline (slow; single-shot

@@ -82,6 +82,31 @@ func TestRegressionFixtureAgainstCommitted(t *testing.T) {
 	}
 }
 
+// TestMissingFixtureAgainstCommitted pins the other half of the ci.sh
+// gate: the committed missing-benchmark fixture must differ from the
+// baseline only by dropped benchmarks (so the gate fails for the right
+// reason, and -allow-missing genuinely rescues it).
+func TestMissingFixtureAgainstCommitted(t *testing.T) {
+	committed, err := load(filepath.Join("..", "..", "BENCH_telemetry.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture, err := load(filepath.Join("testdata", "bench_missing.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, regressions, onlyOld, onlyNew := compare(committed, fixture, 25)
+	if len(onlyOld) == 0 {
+		t.Error("missing fixture drops no benchmarks — the CI missing-benchmark gate would pass it")
+	}
+	if len(regressions) != 0 {
+		t.Errorf("missing fixture also regresses %+v; -allow-missing would not rescue it and the gate tests the wrong thing", regressions)
+	}
+	if len(onlyNew) != 0 {
+		t.Errorf("missing fixture invents benchmarks: %v", onlyNew)
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	empty := filepath.Join(dir, "empty.json")

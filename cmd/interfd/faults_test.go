@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// writePlan marshals a fault plan into a temp file for the -faults flag.
+func writePlan(t *testing.T, plan fault.Plan) string {
+	t.Helper()
+	raw, err := json.MarshalIndent(plan, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDaemonSurvivesFaultPlan is the fault-injection acceptance test: with
+// two node crashes and 20% profile-cell loss at seed 1, the daemon must
+// complete its rounds and exit zero, /metrics must export a positive
+// model_fallback_total and per-kind fault_injected_total, and every
+// surviving workload keeps a working predictor.
+func TestDaemonSurvivesFaultPlan(t *testing.T) {
+	plan := fault.Plan{
+		Seed: 1,
+		Faults: []fault.Fault{
+			{Kind: fault.NodeCrash, Host: 2},
+			{Kind: fault.NodeCrash, Host: 5},
+			{Kind: fault.ProfileCellLoss, Fraction: 0.2},
+		},
+	}
+	// Pause between rounds so the metrics surface stays scrapeable while
+	// the faulted daemon is still alive (the rounds themselves are fast).
+	base, cancel, errCh, reportPath := startTestDaemon(t, func(c *daemonConfig) {
+		c.faultsPath = writePlan(t, plan)
+		c.rounds = 2
+		c.roundPause = 150 * time.Millisecond
+	})
+	defer cancel()
+
+	waitFor(t, "fault metrics on /metrics", 30*time.Second, func() bool {
+		code, body := get(t, base+"/metrics")
+		return code == http.StatusOK &&
+			strings.Contains(body, fault.MetricInjected) &&
+			strings.Contains(body, `kind="node-crash"`) &&
+			strings.Contains(body, `kind="profile-cell-loss"`)
+	})
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit under faults: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("faulted daemon never finished its rounds")
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("final report missing: %v", err)
+	}
+	var rep telemetry.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Metrics.Counters
+	if got := c[telemetry.Label(fault.MetricInjected, "kind", "node-crash")]; got != 2 {
+		t.Errorf("node-crash injections = %d, want 2", got)
+	}
+	if got := c[telemetry.Label(fault.MetricInjected, "kind", "profile-cell-loss")]; got != 1 {
+		t.Errorf("cell-loss injections = %d, want 1", got)
+	}
+	if c[fault.MetricCellsLost] == 0 {
+		t.Error("no cells recorded lost despite a 20% loss fault")
+	}
+	var fallbacks uint64
+	for name, v := range c {
+		if strings.HasPrefix(name, core.MetricModelFallback) {
+			fallbacks += v
+		}
+	}
+	if fallbacks == 0 {
+		t.Error("model_fallback_total stayed zero under 20% cell loss")
+	}
+	if got := c["interfd_rounds_total"]; got != 2 {
+		t.Errorf("rounds = %d, want 2", got)
+	}
+	if g := rep.Metrics.Gauges[fault.MetricDownHosts]; g != 2 {
+		t.Errorf("fault_down_hosts gauge = %v, want 2", g)
+	}
+}
+
+// TestDaemonDrainsWhenProfilingNeverSucceeds forces every model build to
+// fail (rate 1 transient profiling failures, no retries budget to spare)
+// and checks the daemon drops all workloads, drains, and exits zero.
+func TestDaemonDrainsWhenProfilingNeverSucceeds(t *testing.T) {
+	plan := fault.Plan{
+		Seed:   1,
+		Faults: []fault.Fault{{Kind: fault.ProfilingFailure, Rate: 1}},
+	}
+	_, cancel, errCh, reportPath := startTestDaemon(t, func(c *daemonConfig) {
+		c.faultsPath = writePlan(t, plan)
+		c.rounds = 2
+		c.profileRetries = 1
+		c.profileBackoff = time.Millisecond
+	})
+	defer cancel()
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon should drain, not fail: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("draining daemon never exited")
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("final report missing: %v", err)
+	}
+	var rep telemetry.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Metrics.Counters
+	if got := c["interfd_workloads_dropped_total"]; got != 4 {
+		t.Errorf("dropped workloads = %d, want 4", got)
+	}
+	// Every workload retried once before dropping.
+	if got := c["interfd_profile_retries_total"]; got != 4 {
+		t.Errorf("profile retries = %d, want 4", got)
+	}
+	if c["interfd_rounds_total"] != 0 {
+		t.Error("rounds ran despite an empty mix")
+	}
+}

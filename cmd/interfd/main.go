@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/schedule"
@@ -64,6 +65,10 @@ type daemonConfig struct {
 	roundPause       time.Duration
 	reportPath       string
 	tracePath        string
+	faultsPath       string        // JSON fault plan to inject ("" = none)
+	profileRetries   int           // extra build attempts after the first
+	profileBackoff   time.Duration // initial retry backoff, doubled per attempt
+	profileTimeout   time.Duration // per-attempt build timeout (0 = none)
 
 	// notifyAddr, when non-nil, receives the bound listen address once
 	// the plane is up (test hook).
@@ -80,8 +85,9 @@ func defaultDaemonConfig() daemonConfig {
 		meanInterarrival: 30, workMin: 20, workMax: 90,
 		qosFraction: 0.25, qosBound: 1.25,
 		samples: 15, searchIters: 600, searchRestarts: 1, seriesCap: 4096,
-		roundPause: 0,
-		reportPath: "interfd-report.json",
+		roundPause:     0,
+		reportPath:     "interfd-report.json",
+		profileRetries: 3, profileBackoff: 50 * time.Millisecond,
 	}
 }
 
@@ -102,6 +108,10 @@ func main() {
 		iters     = flag.Int("search-iters", cfg.searchIters, "placement-search iterations per round")
 		restarts  = flag.Int("search-restarts", cfg.searchRestarts, "independent annealing restarts per round, run in parallel")
 		pause     = flag.Duration("round-pause", cfg.roundPause, "wall-clock pause between rounds")
+		faults    = flag.String("faults", "", "JSON fault plan to inject (node crashes, degrades, profile-cell loss, transient profiling failures)")
+		pRetries  = flag.Int("profile-retries", cfg.profileRetries, "extra model-build attempts per workload before dropping it")
+		pBackoff  = flag.Duration("profile-backoff", cfg.profileBackoff, "initial backoff between model-build retries, doubled per attempt")
+		pTimeout  = flag.Duration("profile-timeout", cfg.profileTimeout, "per-attempt model-build timeout (0 = none)")
 		report    = flag.String("report", cfg.reportPath, "write the final JSON RunReport to this file ('-' for stdout)")
 		trace     = flag.String("trace", "", "write recorded spans as JSON to this file at exit ('-' for stdout)")
 		logFormat = flag.String("log-format", obs.LogText, "log format: text or json")
@@ -121,6 +131,8 @@ func main() {
 	cfg.samples, cfg.searchIters, cfg.roundPause = *samples, *iters, *pause
 	cfg.searchRestarts = *restarts
 	cfg.reportPath, cfg.tracePath = *report, *trace
+	cfg.faultsPath = *faults
+	cfg.profileRetries, cfg.profileBackoff, cfg.profileTimeout = *pRetries, *pBackoff, *pTimeout
 	switch *policyStr {
 	case schedule.ModelDriven.String():
 		cfg.policy = schedule.ModelDriven
@@ -169,16 +181,47 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 		cfg.notifyAddr(running.Addr)
 	}
 
+	// Fault plan: load, wire the injector to the bus, and activate the
+	// round-0 faults before profiling so crashes, degrades and transient
+	// profiling failures shape the startup phase too.
+	var inj *fault.Injector
+	if cfg.faultsPath != "" {
+		plan, err := fault.LoadPlan(cfg.faultsPath)
+		if err != nil {
+			return err
+		}
+		inj, err = fault.New(plan, reg)
+		if err != nil {
+			return err
+		}
+		inj.OnEvent = func(f fault.Fault) {
+			logger.Warn("fault injected", "kind", f.Kind.String(), "host", f.Host,
+				"factor", f.Factor, "fraction", f.Fraction, "rate", f.Rate, "round", f.Round)
+			bus.Publish("fault_injected", f)
+		}
+		inj.Activate(0)
+	}
+
 	// Startup profiling: one interference model per mix workload. The
-	// daemon is alive (/healthz) but not ready (/readyz 503) until every
-	// model is built.
+	// daemon is alive (/healthz) but not ready (/readyz 503) until the
+	// surviving models are built. Under an active fault plan, each build
+	// retries with exponential backoff; a workload whose builds keep
+	// failing is dropped (counted, logged) rather than crashing the
+	// daemon, and a lossy matrix is wrapped in a resilient predictor that
+	// falls back to the naive proportional model on lost cells.
 	env, err := interference.NewPrivateClusterEnv(cfg.seed)
 	if err != nil {
 		return err
 	}
 	env.Telemetry = reg
 	env.Tracer = tracer
+	if inj != nil {
+		env.HostDegrade = inj.DegradeFactor
+		env.FailureHook = inj.FailureHook // profiling phase only; cleared below
+	}
 
+	retriesC := reg.Counter("interfd_profile_retries_total")
+	droppedC := reg.Counter("interfd_workloads_dropped_total")
 	preds := map[string]core.Predictor{}
 	scores := map[string]float64{}
 	mixWorkloads := make([]workloads.Workload, 0, len(cfg.mix))
@@ -194,20 +237,38 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 			return err
 		}
 		t0 := time.Now()
-		m, err := interference.BuildModel(env, w, bcfg)
+		m, err := buildModelWithRetry(ctx, cfg, env, w, bcfg, retriesC, logger)
 		if err != nil {
-			return fmt.Errorf("interfd: model for %s: %w", name, err)
+			droppedC.Inc()
+			logger.Warn("workload dropped after persistent profiling failure",
+				"workload", name, "err", err)
+			bus.Publish("workload_dropped", map[string]any{"workload": name, "err": err.Error()})
+			continue
 		}
 		obs.WithSpan(logger, "core.build-model/"+name, tracer.Total()).
 			Info("model built", "workload", name, "bubble_score", m.BubbleScore,
 				"wall", time.Since(t0).Round(time.Millisecond).String())
 		preds[name] = m
 		scores[name] = m.BubbleScore
+		if inj != nil {
+			// The naive fallback needs only the analytic sensitivity curve,
+			// so its construction cannot be hit by the failure hook.
+			if p, err := resilientPredictor(inj, env, w, m, bcfg.Nodes, reg, logger); err == nil {
+				preds[name] = p
+			} else {
+				logger.Warn("naive fallback unavailable; using lossless model", "workload", name, "err", err)
+			}
+		}
 		mixWorkloads = append(mixWorkloads, w)
 		if ctx.Err() != nil {
 			logger.Info("shutdown during startup profiling")
 			return telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath)
 		}
+	}
+	env.FailureHook = nil // transient profiling failures target profiling only
+	if len(preds) == 0 {
+		logger.Error("every workload dropped during profiling; draining")
+		return telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath)
 	}
 	srv.SetReady(true)
 	logger.Info("ready", "addr", running.Addr, "policy", cfg.policy.String(),
@@ -236,8 +297,13 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 			logger.Info("draining complete, shutting down", "rounds", round)
 			break
 		}
+		var downs []int
+		if inj != nil {
+			inj.Activate(round) // late-round crashes/degrades arm here
+			downs = inj.DownHosts()
+		}
 		t0 := time.Now()
-		if err := runRound(cfg, round, env, preds, scores, spec, reg, tracer, bus, logger); err != nil {
+		if err := runRound(cfg, round, env, preds, scores, spec, downs, reg, tracer, bus, logger); err != nil {
 			return err
 		}
 		roundsC.Inc()
@@ -272,27 +338,43 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 // lifecycle events).
 func runRound(cfg daemonConfig, round int, env *interference.Env,
 	preds map[string]core.Predictor, scores map[string]float64,
-	spec schedule.StreamSpec, reg *telemetry.Registry, tracer *telemetry.Tracer,
+	spec schedule.StreamSpec, downs []int, reg *telemetry.Registry, tracer *telemetry.Tracer,
 	bus *obs.Bus, logger *slog.Logger) error {
 
 	span := tracer.StartSpan(fmt.Sprintf("interfd.round/%d", round))
 	defer span.End()
 
-	// Placement-search sweep: the reference "best consolidation" of the
-	// current mix, recomputed with a round-specific seed so the stream of
-	// convergence samples keeps moving.
+	// Crashed hosts shrink the cluster: per-app units contract to what
+	// the surviving slots can hold, and both the sweep and the online
+	// manager are told to avoid the down hosts.
+	surviving := (cfg.hosts - len(downs)) * cfg.slots
 	names := make([]string, 0, len(preds))
 	for name := range preds {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	units := cfg.units
+	if len(names) > 0 && units > surviving/len(names) {
+		units = surviving / len(names)
+	}
+	if units < 1 || cfg.jobUnits > surviving {
+		logger.Warn("surviving capacity too small for this round; skipping",
+			"round", round, "surviving_slots", surviving, "down_hosts", len(downs))
+		bus.Publish("round_skipped", map[string]any{"round": round, "surviving_slots": surviving})
+		return nil
+	}
+
+	// Placement-search sweep: the reference "best consolidation" of the
+	// current mix, recomputed with a round-specific seed so the stream of
+	// convergence samples keeps moving.
 	demands := make([]cluster.Demand, 0, len(names))
 	for _, name := range names {
-		demands = append(demands, cluster.Demand{App: name, Units: cfg.units})
+		demands = append(demands, cluster.Demand{App: name, Units: units})
 	}
 	req := placement.Request{
 		NumHosts: cfg.hosts, SlotsPerHost: cfg.slots,
 		Demands: demands, Predictors: preds, Scores: scores,
+		DownHosts: downs,
 	}
 	pcfg := placement.DefaultConfig(cfg.seed + int64(round))
 	pcfg.Iterations = cfg.searchIters
@@ -325,6 +407,7 @@ func runRound(cfg daemonConfig, round int, env *interference.Env,
 		NumHosts: cfg.hosts, SlotsPerHost: cfg.slots,
 		Policy: cfg.policy, Predictors: preds, Scores: scores,
 		Seed:      cfg.seed + int64(round),
+		DownHosts: downs,
 		Telemetry: reg,
 		OnEvent: func(ev schedule.Event) {
 			bus.Publish(ev.Kind.String(), ev)
@@ -339,4 +422,87 @@ func runRound(cfg daemonConfig, round int, env *interference.Env,
 		"mean_stretch", sres.MeanStretch, "qos_violations", sres.QoSViolations,
 		"search_objective", res.Objective)
 	return nil
+}
+
+// buildModelWithRetry builds the interference model for w, retrying
+// transient profiling failures up to cfg.profileRetries extra times with
+// exponential backoff and an optional per-attempt timeout.
+func buildModelWithRetry(ctx context.Context, cfg daemonConfig, env *interference.Env,
+	w workloads.Workload, bcfg interference.BuildConfig,
+	retries *telemetry.Counter, logger *slog.Logger) (*core.Model, error) {
+
+	backoff := cfg.profileBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= cfg.profileRetries; attempt++ {
+		if attempt > 0 {
+			retries.Inc()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		m, err := buildModelOnce(env, w, bcfg, cfg.profileTimeout)
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+		logger.Warn("model build attempt failed", "workload", w.Name,
+			"attempt", attempt+1, "err", err)
+	}
+	return nil, fmt.Errorf("interfd: model for %s: %w", w.Name, lastErr)
+}
+
+// buildModelOnce runs one build attempt, bounded by timeout when set.
+// A timed-out build keeps running in its abandoned goroutine until it
+// finishes on its own — the simulator cannot be cancelled mid-measurement
+// — but its result is discarded.
+func buildModelOnce(env *interference.Env, w workloads.Workload,
+	bcfg interference.BuildConfig, timeout time.Duration) (*core.Model, error) {
+
+	if timeout <= 0 {
+		return interference.BuildModel(env, w, bcfg)
+	}
+	type result struct {
+		m   *core.Model
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		m, err := interference.BuildModel(env, w, bcfg)
+		ch <- result{m, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("interfd: model build for %s timed out after %s", w.Name, timeout)
+	}
+}
+
+// resilientPredictor applies the plan's profile-cell loss to the model's
+// matrix and, when cells were actually lost, wraps the partial model with
+// the naive proportional fallback so every query still answers (counted
+// in model_fallback_total).
+func resilientPredictor(inj *fault.Injector, env *interference.Env,
+	w workloads.Workload, m *core.Model, nodes int,
+	reg *telemetry.Registry, logger *slog.Logger) (core.Predictor, error) {
+
+	lossy := inj.ApplyCellLoss(m.Matrix, w.Name)
+	if lossy == m.Matrix {
+		return m, nil
+	}
+	naive, err := interference.BuildNaiveModel(env, w, nodes)
+	if err != nil {
+		return nil, err
+	}
+	lm := *m
+	lm.Matrix = lossy
+	logger.Info("profile cells lost; naive fallback armed", "workload", w.Name,
+		"fraction", inj.CellLossFraction())
+	return core.NewResilient(w.Name, core.Partial{M: &lm}, naive, reg), nil
 }

@@ -12,15 +12,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/ec2"
+	"repro/internal/fault"
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -41,6 +44,7 @@ func main() {
 		pressure    = flag.Float64("pressure", 6, "bubble pressure 1-8 (homogeneous mode)")
 		pressureCSV = flag.String("pressures", "", "comma-separated per-node pressures (heterogeneous mode)")
 		useEC2      = flag.Bool("ec2", false, "use the simulated EC2 environment")
+		faultsPath  = flag.String("faults", "", "JSON fault plan to inject (crashes shrink the cluster, degrades slow their host)")
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		list        = flag.Bool("list", false, "list available workloads and exit")
 		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file ('-' for stdout)")
@@ -91,6 +95,47 @@ func main() {
 	}
 	env.Telemetry = reg
 	env.Tracer = tracer
+
+	// Fault plan: crashes remap the run's logical nodes onto the i-th
+	// surviving host, degrades slow their host, and transient profiling
+	// failures are retried a few times before giving up. Time-armed
+	// faults (at > 0) need the round-driven daemon; a batch run only
+	// activates the round-0 plan.
+	var inj *fault.Injector
+	survivingHosts := env.Cluster.NumHosts
+	if *faultsPath != "" {
+		plan, lerr := fault.LoadPlan(*faultsPath)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		inj, lerr = fault.New(plan, reg)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		inj.OnEvent = func(f fault.Fault) {
+			logger.Warn("fault injected", "kind", f.Kind.String(), "host", f.Host,
+				"factor", f.Factor, "rate", f.Rate)
+		}
+		inj.Activate(0)
+		env.FailureHook = inj.FailureHook
+		if downs := inj.DownHosts(); len(downs) > 0 {
+			surviving := make([]int, 0, env.Cluster.NumHosts)
+			for h := 0; h < env.Cluster.NumHosts; h++ {
+				if !inj.IsDown(h) {
+					surviving = append(surviving, h)
+				}
+			}
+			survivingHosts = len(surviving)
+			env.HostDegrade = func(node int) float64 {
+				if node < 0 || node >= len(surviving) {
+					return 1
+				}
+				return inj.DegradeFactor(surviving[node])
+			}
+		} else {
+			env.HostDegrade = inj.DegradeFactor
+		}
+	}
 	if srv != nil {
 		srv.SetReady(true)
 	}
@@ -111,11 +156,16 @@ func main() {
 		}
 	}
 
-	raw, err := env.RunWithBubbles(w, pressures)
+	if len(pressures) > survivingHosts {
+		fatal(fmt.Errorf("workload spans %d nodes but only %d hosts survive the fault plan",
+			len(pressures), survivingHosts))
+	}
+
+	raw, err := runRetrying(inj, func() (float64, error) { return env.RunWithBubbles(w, pressures) })
 	if err != nil {
 		fatal(err)
 	}
-	solo, err := env.Solo(w, len(pressures))
+	solo, err := runRetrying(inj, func() (float64, error) { return env.Solo(w, len(pressures)) })
 	if err != nil {
 		fatal(err)
 	}
@@ -125,6 +175,17 @@ func main() {
 	out.KV("solo", "%.3f s", solo)
 	out.KV("interfered", "%.3f s", raw)
 	out.KV("normalized", "%.4f", raw/solo)
+	if inj != nil {
+		counts := inj.Counts()
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			out.KV("fault/"+k, "%d", counts[k])
+		}
+	}
 
 	if err := telemetry.Emit(runReport, reg, tracer, *metricsPath, *tracePath); err != nil {
 		fatal(err)
@@ -159,6 +220,22 @@ func stopPlane(srv *obs.Server, plane *obs.Running) {
 	if err := plane.Shutdown(ctx); err != nil {
 		logger.Warn("plane shutdown", "err", err)
 	}
+}
+
+// runRetrying runs one measurement, retrying transient injected
+// profiling failures a few times before surfacing the error.
+func runRetrying(inj *fault.Injector, run func() (float64, error)) (float64, error) {
+	const attempts = 5
+	v, err := run()
+	for i := 1; err != nil && inj != nil && i < attempts; i++ {
+		var te *fault.TransientError
+		if !errors.As(err, &te) {
+			break
+		}
+		logger.Warn("transient profiling failure; retrying", "op", te.Op, "attempt", i)
+		v, err = run()
+	}
+	return v, err
 }
 
 func fatal(err error) {

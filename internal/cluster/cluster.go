@@ -328,6 +328,14 @@ func RandomValid(rng *sim.RNG, numHosts, slotsPerHost int, demands []Demand, max
 // RandomValidLimit is RandomValid with an explicit per-host distinct-app
 // limit (0 = pairwise).
 func RandomValidLimit(rng *sim.RNG, numHosts, slotsPerHost, appsLimit int, demands []Demand, maxTries int) (*Placement, error) {
+	return RandomValidDown(rng, numHosts, slotsPerHost, appsLimit, demands, maxTries, nil)
+}
+
+// RandomValidDown is RandomValidLimit over a degraded cluster: slots on
+// hosts in the down set stay empty (crashed nodes). With an empty down
+// set it consumes the stream's draws identically to RandomValidLimit,
+// so fault-free callers see bit-identical placements.
+func RandomValidDown(rng *sim.RNG, numHosts, slotsPerHost, appsLimit int, demands []Demand, maxTries int, down map[int]bool) (*Placement, error) {
 	total := 0
 	for _, d := range demands {
 		if d.Units <= 0 || d.App == "" {
@@ -335,8 +343,20 @@ func RandomValidLimit(rng *sim.RNG, numHosts, slotsPerHost, appsLimit int, deman
 		}
 		total += d.Units
 	}
-	if total > numHosts*slotsPerHost {
-		return nil, fmt.Errorf("cluster: %d units exceed %d slots", total, numHosts*slotsPerHost)
+	downN := 0
+	for h, isDown := range down {
+		if !isDown {
+			continue
+		}
+		if h < 0 || h >= numHosts {
+			return nil, fmt.Errorf("cluster: down host %d out of range", h)
+		}
+		downN++
+	}
+	surviving := (numHosts - downN) * slotsPerHost
+	if total > surviving {
+		return nil, fmt.Errorf("cluster: %d units exceed %d surviving slots (%d of %d hosts down)",
+			total, surviving, downN, numHosts)
 	}
 	if maxTries <= 0 {
 		maxTries = 1000
@@ -352,10 +372,20 @@ func RandomValidLimit(rng *sim.RNG, numHosts, slotsPerHost, appsLimit int, deman
 		if err != nil {
 			return nil, err
 		}
+		// Walk the slot permutation in order, skipping crashed hosts'
+		// slots; with no down hosts the walk is exactly perm[0:len(units)],
+		// preserving the fault-free draw sequence.
 		perm := rng.Perm(numHosts * slotsPerHost)
-		for i, u := range units {
-			pos := perm[i]
-			p.slots[pos/slotsPerHost][pos%slotsPerHost] = u
+		i := 0
+		for _, pos := range perm {
+			if i == len(units) {
+				break
+			}
+			if down[pos/slotsPerHost] {
+				continue
+			}
+			p.slots[pos/slotsPerHost][pos%slotsPerHost] = units[i]
+			i++
 		}
 		if p.Validate() == nil {
 			return p, nil

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRandomValidDownAvoidsDownHosts(t *testing.T) {
+	rng := sim.NewRNG(3)
+	demands := []Demand{{"A", 3}, {"B", 3}, {"C", 3}, {"D", 3}}
+	down := map[int]bool{0: true, 7: true}
+	for i := 0; i < 50; i++ {
+		p, err := RandomValidDown(rng, 8, 2, 0, demands, 0, down)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid placement: %v\n%v", err, p)
+		}
+		for h := range down {
+			if apps := p.HostApps(h); len(apps) != 0 {
+				t.Fatalf("down host %d holds %v", h, apps)
+			}
+		}
+		for _, d := range demands {
+			if got := p.UnitsOf(d.App); got != d.Units {
+				t.Fatalf("app %s has %d units, want %d", d.App, got, d.Units)
+			}
+		}
+	}
+}
+
+func TestRandomValidDownSurvivingCapacity(t *testing.T) {
+	rng := sim.NewRNG(1)
+	// 8 hosts x 2 slots = 16, minus 2 down hosts = 12 surviving slots.
+	demands := []Demand{{"A", 7}, {"B", 6}}
+	_, err := RandomValidDown(rng, 8, 2, 0, demands, 0, map[int]bool{2: true, 5: true})
+	if err == nil {
+		t.Fatal("13 units on 12 surviving slots should fail")
+	}
+	if !strings.Contains(err.Error(), "surviving") {
+		t.Errorf("error should mention surviving slots, got: %v", err)
+	}
+	// Same demand fits once only one host is down.
+	if _, err := RandomValidDown(sim.NewRNG(1), 8, 2, 0, demands, 0, map[int]bool{2: true}); err != nil {
+		t.Errorf("13 units on 14 surviving slots should fit: %v", err)
+	}
+}
+
+func TestRandomValidDownRejectsBadHost(t *testing.T) {
+	rng := sim.NewRNG(1)
+	demands := []Demand{{"A", 2}}
+	for _, h := range []int{-1, 8} {
+		if _, err := RandomValidDown(rng, 8, 2, 0, demands, 0, map[int]bool{h: true}); err == nil {
+			t.Errorf("down host %d out of range should fail", h)
+		}
+	}
+}
+
+// An empty down set must not perturb the draw sequence: the fault-free
+// trajectory of every seeded search stays bit-identical to the pre-fault
+// code path.
+func TestRandomValidDownEmptyMatchesRandomValid(t *testing.T) {
+	demands := []Demand{{"A", 4}, {"B", 4}, {"C", 4}, {"D", 4}}
+	p1, err := RandomValid(sim.NewRNG(42), 8, 2, demands, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RandomValidDown(sim.NewRNG(42), 8, 2, 0, demands, 0, map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("empty down set changed the placement:\n%v\nvs\n%v", p1, p2)
+	}
+}

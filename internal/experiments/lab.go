@@ -293,6 +293,7 @@ func ExtraRunners() []Runner {
 		{"ablations", (*Lab).Ablations},
 		{"multiway", (*Lab).Multiway},
 		{"energy", (*Lab).Energy},
+		{"faults", (*Lab).FaultInjection},
 	}
 }
 

@@ -126,9 +126,11 @@ func (l *Lab) weightedNormalizedSum(p *cluster.Placement, reg map[string]workloa
 	if err != nil {
 		return 0, nil, err
 	}
+	// Accumulate in sorted-app order: float sums are order-sensitive, and
+	// the golden corpus needs byte-identical output across runs.
 	var xs, ws []float64
-	for a, o := range out {
-		xs = append(xs, o.Normalized)
+	for _, a := range p.Apps() {
+		xs = append(xs, out[a].Normalized)
 		ws = append(ws, float64(p.UnitsOf(a)))
 	}
 	wm, err := stats.WeightedMean(xs, ws)
@@ -259,8 +261,8 @@ func (l *Lab) figure11() (Output, error) {
 				return 0, err
 			}
 			var sp []float64
-			for a, o := range out {
-				sp = append(sp, worstOut[a].Normalized/o.Normalized)
+			for _, a := range p.Apps() {
+				sp = append(sp, worstOut[a].Normalized/out[a].Normalized)
 			}
 			return stats.Mean(sp), nil
 		}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns the artifact in cmd/paperrepro's plain-text format.
+// The golden regression corpus (testdata/golden) locks these exact
+// bytes down, so renderer changes surface as golden diffs.
+func (o Output) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n\n", o.ID, o.Title)
+	for _, tb := range o.Tables {
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	for _, n := range o.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderMarkdown returns the artifact in cmd/paperrepro's -markdown
+// format.
+func (o Output) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", o.ID, o.Title)
+	for _, tb := range o.Tables {
+		b.WriteString(tb.Markdown())
+		b.WriteString("\n")
+	}
+	for _, n := range o.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	return b.String()
+}

@@ -48,6 +48,15 @@ type Env struct {
 	// non-nil, records one span per measurement. Both may be nil.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+	// FailureHook, when non-nil, is consulted at the start of every
+	// measurement; a non-nil error aborts it. The fault layer injects
+	// transient profiling-run failures through it — callers retry.
+	FailureHook func(op string) error
+	// HostDegrade, when non-nil, returns a multiplicative slowdown
+	// factor (>= 1) for a host — the fault layer's "slow node". Like
+	// Background, it affects every measurement touching the host, solo
+	// baselines included.
+	HostDegrade func(host int) float64
 
 	mu        sync.Mutex
 	soloCache map[string]float64
@@ -128,7 +137,27 @@ func (e *Env) slowdownOn(host int, occ []contention.Occupant, rep, nonce int) (f
 	if err != nil {
 		return 0, fmt.Errorf("measure: host %d: %w", host, err)
 	}
-	return res.Slowdown[0], nil
+	return res.Slowdown[0] * e.degrade(host), nil
+}
+
+// degrade returns the host's fault-injected slowdown factor (1 when
+// healthy or unhooked).
+func (e *Env) degrade(host int) float64 {
+	if e.HostDegrade == nil {
+		return 1
+	}
+	if f := e.HostDegrade(host); f > 1 {
+		return f
+	}
+	return 1
+}
+
+// failure consults the fault layer's measurement failure hook.
+func (e *Env) failure(op string) error {
+	if e.FailureHook == nil {
+		return nil
+	}
+	return e.FailureHook(op)
 }
 
 // runOnce executes the workload once with the given per-node slowdowns.
@@ -151,6 +180,9 @@ func (e *Env) RunWithBubbles(w workloads.Workload, pressures []float64) (float64
 	}
 	if nodes > e.Cluster.NumHosts {
 		return 0, fmt.Errorf("measure: %d nodes on a %d-host cluster", nodes, e.Cluster.NumHosts)
+	}
+	if err := e.failure("bubbles/" + w.Name); err != nil {
+		return 0, err
 	}
 	e.count(MetricMeasureRuns)
 	span := e.Tracer.StartSpan("measure.bubbles/" + w.Name)
@@ -245,6 +277,9 @@ func (e *Env) RunWithCoRunner(w, co workloads.Workload, nodes int, coNodes []int
 		}
 		coSet[c] = true
 	}
+	if err := e.failure("co-runner/" + w.Name); err != nil {
+		return 0, err
+	}
 	nonce := e.nextNonce()
 	times := make([]float64, 0, e.Reps)
 	for rep := 0; rep < e.Reps; rep++ {
@@ -303,6 +338,9 @@ func (e *Env) RunGroup(apps []workloads.Workload, nodes int) ([]AppOutcome, erro
 	if len(apps)*e.UnitCores > e.Cluster.HostSpec.Cores {
 		return nil, fmt.Errorf("measure: %d units of %d cores exceed host cores", len(apps), e.UnitCores)
 	}
+	if err := e.failure("group"); err != nil {
+		return nil, err
+	}
 	e.count(MetricMeasureRuns)
 	defer e.Tracer.StartSpan("measure.group").End()
 	nonce := e.nextNonce()
@@ -324,8 +362,9 @@ func (e *Env) RunGroup(apps []workloads.Workload, nodes int) ([]AppOutcome, erro
 			if err != nil {
 				return nil, err
 			}
+			f := e.degrade(i)
 			for j := range apps {
-				sd[j][i] = res.Slowdown[j]
+				sd[j][i] = res.Slowdown[j] * f
 			}
 		}
 		for j, a := range apps {
@@ -381,6 +420,9 @@ func (e *Env) RunPlacement(p *cluster.Placement, reg map[string]workloads.Worklo
 			return nil, fmt.Errorf("measure: placement references unknown workload %q", a)
 		}
 	}
+	if err := e.failure("placement"); err != nil {
+		return nil, err
+	}
 	e.count(MetricPlacementRuns)
 	span := e.Tracer.StartSpan("measure.placement")
 	defer span.End()
@@ -426,8 +468,9 @@ func (e *Env) RunPlacement(p *cluster.Placement, reg map[string]workloads.Worklo
 			if err != nil {
 				return nil, fmt.Errorf("measure: host %d: %w", h, err)
 			}
+			f := e.degrade(h)
 			for i, up := range occPos {
-				slotSlowdown[up] = res.Slowdown[i]
+				slotSlowdown[up] = res.Slowdown[i] * f
 			}
 		}
 		for _, a := range apps {

@@ -87,9 +87,9 @@ func betterSnap(qosEnabled bool, sign float64, cand, best bestSnap) bool {
 type incEval struct {
 	req      Request
 	qos      *QoS
-	apps     []string  // sorted, fixed for the search
-	units    []float64 // parallel to apps
-	weight   float64   // total units, accumulated in apps order
+	apps     []string           // sorted, fixed for the search
+	units    []float64          // parallel to apps
+	weight   float64            // total units, accumulated in apps order
 	pred     map[string]float64 // predictions for the current state
 	cand     map[string]float64 // mirror of pred with the proposal's deltas
 	cache    *core.PredictionCache
@@ -216,7 +216,8 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 	span := cfg.Tracer.StartSpan("placement.restart")
 	defer span.End()
 
-	cur, err := cluster.RandomValidLimit(r.Stream("init"), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
+	down := req.downSet()
+	cur, err := cluster.RandomValidDown(r.Stream("init"), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0, down)
 	if err != nil {
 		o.err = err
 		return o
@@ -261,6 +262,12 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 		b := r.Intn(slots)
 		ha, sa := a/req.SlotsPerHost, a%req.SlotsPerHost
 		hb, sb := b/req.SlotsPerHost, b%req.SlotsPerHost
+		// Proposals touching a crashed host are invalid outright; the
+		// guard is draw-free, so the fault-free trajectory is untouched.
+		if len(down) > 0 && (down[ha] || down[hb]) {
+			o.invalid++
+			continue
+		}
 		if cur.At(ha, sa) == cur.At(hb, sb) {
 			continue
 		}

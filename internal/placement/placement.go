@@ -34,6 +34,22 @@ type Request struct {
 	Demands          []cluster.Demand
 	Predictors       map[string]core.Predictor
 	Scores           map[string]float64 // bubble score per application
+	// DownHosts lists crashed hosts (from the fault layer): the search
+	// never places a unit on them and rejects any proposal touching
+	// them, re-planning around the unhealthy part of the cluster.
+	DownHosts []int
+}
+
+// downSet materializes DownHosts as a set.
+func (r Request) downSet() map[int]bool {
+	if len(r.DownHosts) == 0 {
+		return nil
+	}
+	down := make(map[int]bool, len(r.DownHosts))
+	for _, h := range r.DownHosts {
+		down[h] = true
+	}
+	return down
 }
 
 func (r Request) validate() error {
@@ -46,6 +62,14 @@ func (r Request) validate() error {
 	if len(r.Demands) == 0 {
 		return errors.New("placement: no demands")
 	}
+	down := map[int]bool{}
+	for _, h := range r.DownHosts {
+		if h < 0 || h >= r.NumHosts {
+			return fmt.Errorf("placement: down host %d out of range", h)
+		}
+		down[h] = true
+	}
+	total := 0
 	seen := map[string]bool{}
 	for _, d := range r.Demands {
 		if d.App == "" || d.Units <= 0 {
@@ -55,12 +79,17 @@ func (r Request) validate() error {
 			return fmt.Errorf("placement: duplicate demand for %q", d.App)
 		}
 		seen[d.App] = true
+		total += d.Units
 		if _, ok := r.Predictors[d.App]; !ok {
 			return fmt.Errorf("placement: no predictor for %q", d.App)
 		}
 		if _, ok := r.Scores[d.App]; !ok {
 			return fmt.Errorf("placement: no bubble score for %q", d.App)
 		}
+	}
+	if surviving := (r.NumHosts - len(down)) * r.SlotsPerHost; total > surviving {
+		return fmt.Errorf("placement: %d units exceed %d surviving slots (%d of %d hosts down)",
+			total, surviving, len(down), r.NumHosts)
 	}
 	return nil
 }
@@ -425,9 +454,10 @@ func RandomOutcome(req Request, n int, seed int64, qos *QoS) ([]Result, error) {
 		}
 	}
 	rng := sim.NewRNG(seed).Stream("random-placements")
+	down := req.downSet()
 	out := make([]Result, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := cluster.RandomValidLimit(rng.StreamN("p", i), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0)
+		p, err := cluster.RandomValidDown(rng.StreamN("p", i), req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit, req.Demands, 0, down)
 		if err != nil {
 			return nil, err
 		}

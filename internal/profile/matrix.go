@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -57,11 +58,14 @@ type Matrix struct {
 	// cell can never become unset again — once the matrix is complete it
 	// stays complete. While the matrix is still incomplete the flag stays
 	// false and Complete() rescans, so At keeps returning the same
-	// "matrix incomplete" error for stale matrices.
-	complete bool
+	// "matrix incomplete" error for stale matrices. Both fields are
+	// atomic because concurrent readers (the parallel restart goroutines
+	// of placement.Search calling At/AtPartial) race the lazy scan on
+	// matrices that are still — or permanently, after cell loss — incomplete.
+	complete atomic.Bool
 	// completeScans counts full completeness scans (white-box test hook
 	// pinning that At does not rescan on every prediction).
-	completeScans int
+	completeScans atomic.Int64
 }
 
 // NewMatrix returns a matrix with every measurable cell unset (NaN) and
@@ -131,10 +135,10 @@ func (m *Matrix) Cell(i, j int) float64 { return m.cells[i][j] }
 // be unset), so the per-prediction completeness check in At is a single
 // branch instead of an O(pressures×nodes) rescan.
 func (m *Matrix) Complete() bool {
-	if m.complete {
+	if m.complete.Load() {
 		return true
 	}
-	m.completeScans++
+	m.completeScans.Add(1)
 	for i := range m.cells {
 		for _, v := range m.cells[i] {
 			if math.IsNaN(v) {
@@ -142,7 +146,7 @@ func (m *Matrix) Complete() bool {
 			}
 		}
 	}
-	m.complete = true
+	m.complete.Store(true)
 	return true
 }
 
@@ -156,6 +160,9 @@ func (m *Matrix) Row(i int) []float64 { return append([]float64(nil), m.cells[i]
 func (m *Matrix) At(pressure, nodes float64) (float64, error) {
 	if !m.Complete() {
 		return 0, errors.New("profile: matrix incomplete")
+	}
+	if math.IsNaN(pressure) || math.IsInf(pressure, 0) || math.IsNaN(nodes) || math.IsInf(nodes, 0) {
+		return 0, fmt.Errorf("profile: non-finite query (%v, %v)", pressure, nodes)
 	}
 	if pressure <= 0 || nodes <= 0 {
 		return 1, nil
@@ -192,6 +199,76 @@ func (m *Matrix) At(pressure, nodes float64) (float64, error) {
 	return stats.Lerp(rowAt(lowIdx), rowAt(hiIdx), frac), nil
 }
 
+// AtPartial is At for matrices that may have lost cells. When the matrix
+// is complete it is exactly At; otherwise it evaluates the same bilinear
+// interpolation if every cell the query touches is still set, and
+// returns an error naming a missing cell it needs. This is the
+// graceful-degradation path under profile-cell loss — queries over
+// surviving cells keep using the measured model, and only queries over
+// lost cells force the caller's fallback predictor.
+func (m *Matrix) AtPartial(pressure, nodes float64) (float64, error) {
+	if m.Complete() {
+		return m.At(pressure, nodes)
+	}
+	if math.IsNaN(pressure) || math.IsInf(pressure, 0) || math.IsNaN(nodes) || math.IsInf(nodes, 0) {
+		return 0, fmt.Errorf("profile: non-finite query (%v, %v)", pressure, nodes)
+	}
+	if pressure <= 0 || nodes <= 0 {
+		return 1, nil
+	}
+	nodes = stats.Clamp(nodes, 0, float64(m.Nodes))
+	pressure = stats.Clamp(pressure, 0, float64(m.Pressures))
+
+	cell := func(i, j int) (float64, error) {
+		v := m.cells[i][j]
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("profile: cell (%d,%d) lost", i, j)
+		}
+		return v, nil
+	}
+	// rowAt mirrors At's row evaluation, touching only the cells the
+	// query actually needs (an integral node count needs one cell, not
+	// two).
+	rowAt := func(i int) (float64, error) {
+		if i < 0 {
+			return 1, nil // virtual pressure-0 row
+		}
+		j := int(math.Floor(nodes))
+		if j >= m.Nodes {
+			return cell(i, m.Nodes)
+		}
+		frac := nodes - float64(j)
+		a, err := cell(i, j)
+		if err != nil || frac == 0 {
+			return a, err
+		}
+		b, err := cell(i, j+1)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Lerp(a, b, frac), nil
+	}
+	pLow := math.Floor(pressure)
+	frac := pressure - pLow
+	lowIdx := int(pLow) - 1
+	if frac == 0 {
+		return rowAt(lowIdx)
+	}
+	hiIdx := lowIdx + 1
+	if hiIdx >= m.Pressures {
+		return rowAt(m.Pressures - 1)
+	}
+	lo, err := rowAt(lowIdx)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := rowAt(hiIdx)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Lerp(lo, hi, frac), nil
+}
+
 // MeanAbsError returns the mean relative error of this matrix against a
 // reference over all measurable cells (j >= 1).
 func (m *Matrix) MeanAbsError(ref *Matrix) (float64, error) {
@@ -219,6 +296,30 @@ func (m *Matrix) Clone() *Matrix {
 		copy(c.cells[i], m.cells[i])
 		copy(c.prov[i], m.prov[i])
 	}
-	c.complete = m.complete
+	c.complete.Store(m.complete.Load())
+	return c
+}
+
+// CloneDropping returns a deep copy with every measurable cell (columns
+// >= 1) selected by drop reset to unset — the profile-cell-loss fault.
+// Column 0 stays Free by definition. The source matrix is untouched (its
+// completeness stays monotonic); the clone never inherits the cached
+// completeness flag, so it rescans and reports incomplete when cells
+// were actually dropped.
+func (m *Matrix) CloneDropping(drop func(i, j int) bool) *Matrix {
+	c, _ := NewMatrix(m.Pressures, m.Nodes)
+	for i := range m.cells {
+		copy(c.cells[i], m.cells[i])
+		copy(c.prov[i], m.prov[i])
+		if drop == nil {
+			continue
+		}
+		for j := 1; j <= m.Nodes; j++ {
+			if drop(i, j) {
+				c.cells[i][j] = math.NaN()
+				c.prov[i][j] = Unset
+			}
+		}
+	}
 	return c
 }

@@ -33,8 +33,8 @@ func TestAtCachesCompleteness(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if m.completeScans != 1 {
-		t.Errorf("1000 At calls performed %d completeness scans, want exactly 1", m.completeScans)
+	if got := m.completeScans.Load(); got != 1 {
+		t.Errorf("1000 At calls performed %d completeness scans, want exactly 1", got)
 	}
 }
 
@@ -84,8 +84,8 @@ func TestCloneCarriesCompletenessCache(t *testing.T) {
 	if _, err := c.At(1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if c.completeScans != 0 {
-		t.Errorf("clone of a complete matrix rescanned %d times, want 0", c.completeScans)
+	if got := c.completeScans.Load(); got != 0 {
+		t.Errorf("clone of a complete matrix rescanned %d times, want 0", got)
 	}
 	// A clone of an incomplete matrix must still rescan and error.
 	n, _ := NewMatrix(2, 2)

@@ -1,0 +1,59 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRespectsDownHosts(t *testing.T) {
+	env := testEnv(t)
+	cfg := testConfig(t, ModelDriven)
+	cfg.DownHosts = []int{0, 3}
+	res, err := Run(env, cfg, testJobs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("%d outcomes, want 4", len(res.Outcomes))
+	}
+	for _, o := range res.Outcomes {
+		if o.Finish <= o.Start {
+			t.Errorf("job %d times broken: %+v", o.Job.ID, o)
+		}
+	}
+}
+
+func TestRunDownHostsValidation(t *testing.T) {
+	env := testEnv(t)
+	cfg := testConfig(t, ModelDriven)
+	cfg.DownHosts = []int{8}
+	if _, err := Run(env, cfg, testJobs(t)); err == nil {
+		t.Error("out-of-range down host should fail")
+	}
+	// 8 hosts x 2 slots, 3 down -> 10 surviving slots; an 11-unit job
+	// can never be placed and must be rejected up front.
+	cfg = testConfig(t, ModelDriven)
+	cfg.DownHosts = []int{0, 1, 2}
+	jobs := testJobs(t)
+	jobs[1].Units = 11
+	_, err := Run(env, cfg, jobs)
+	if err == nil {
+		t.Fatal("job above surviving capacity should fail")
+	}
+	if !strings.Contains(err.Error(), "surviving") {
+		t.Errorf("error should mention surviving capacity, got: %v", err)
+	}
+}
+
+func TestFreeSlotsSkipsDownHosts(t *testing.T) {
+	s := &state{placement: mustPlacement(4, 2), down: map[int]bool{1: true, 2: true}}
+	free := s.freeSlots()
+	if len(free) != 4 {
+		t.Fatalf("%d free slots, want 4 (hosts 0 and 3 only)", len(free))
+	}
+	for _, pos := range free {
+		if s.down[pos.Host] {
+			t.Errorf("free slot offered on down host %d", pos.Host)
+		}
+	}
+}

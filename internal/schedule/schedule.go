@@ -157,6 +157,10 @@ type Config struct {
 	Predictors map[string]core.Predictor
 	Scores     map[string]float64
 	Seed       int64
+	// DownHosts lists crashed hosts (from the fault layer); their slots
+	// are never offered to arriving jobs and capacity checks run against
+	// the surviving slots only.
+	DownHosts []int
 
 	// Telemetry, when non-nil, receives the Metric* counters, gauges,
 	// and histograms. OnEvent, when non-nil, receives every job
@@ -199,12 +203,20 @@ func Run(env *measure.Env, cfg Config, jobs []Job) (Result, error) {
 	if len(jobs) == 0 {
 		return Result{}, errors.New("schedule: no jobs")
 	}
+	down := map[int]bool{}
+	for _, h := range cfg.DownHosts {
+		if h < 0 || h >= cfg.NumHosts {
+			return Result{}, fmt.Errorf("schedule: down host %d out of range", h)
+		}
+		down[h] = true
+	}
+	capacity := (cfg.NumHosts - len(down)) * cfg.SlotsPerHost
 	for _, j := range jobs {
 		if err := j.validate(); err != nil {
 			return Result{}, err
 		}
-		if j.Units > cfg.NumHosts*cfg.SlotsPerHost {
-			return Result{}, fmt.Errorf("schedule: job %d exceeds cluster capacity", j.ID)
+		if j.Units > capacity {
+			return Result{}, fmt.Errorf("schedule: job %d exceeds surviving cluster capacity (%d slots)", j.ID, capacity)
 		}
 		if _, ok := cfg.Scores[j.Workload.Name]; !ok {
 			return Result{}, fmt.Errorf("schedule: no bubble score for %q", j.Workload.Name)
@@ -224,6 +236,7 @@ func Run(env *measure.Env, cfg Config, jobs []Job) (Result, error) {
 		placement: mustPlacement(cfg.NumHosts, cfg.SlotsPerHost),
 		reg:       map[string]workloads.Workload{},
 		running:   map[int]*runningJob{},
+		down:      down,
 	}
 	if cfg.Telemetry != nil {
 		s.m = newScheduleMetrics(cfg.Telemetry)
@@ -277,6 +290,7 @@ type state struct {
 	running   map[int]*runningJob
 	queue     []Job
 	outcomes  []JobOutcome
+	down      map[int]bool     // crashed hosts; their slots are never offered
 	m         *scheduleMetrics // nil when uninstrumented
 }
 
@@ -371,10 +385,13 @@ func (s *state) nextCompletion(now float64) (int, float64, bool) {
 	return bestID, bestAt, true
 }
 
-// freeSlots lists currently empty slots.
+// freeSlots lists currently empty slots on surviving hosts.
 func (s *state) freeSlots() []cluster.UnitPos {
 	var out []cluster.UnitPos
 	for h := 0; h < s.placement.NumHosts; h++ {
+		if s.down[h] {
+			continue
+		}
 		for sl := 0; sl < s.placement.HostSlots; sl++ {
 			if s.placement.At(h, sl) == "" {
 				out = append(out, cluster.UnitPos{Host: h, Slot: sl})
