@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/placement"
 	"repro/internal/profile"
@@ -133,6 +134,63 @@ func BenchmarkTaskPoolRun(b *testing.B) {
 	}
 	sd := []float64{3, 1, 1, 1, 1, 1, 1, 1}
 	net := netsim.TenGbE()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.App.Run(app.Params{Slowdown: sd, Net: net, RNG: sim.NewRNG(int64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureBatch measures the batch machinery end to end: one
+// 24-cell propagation grid (3 pressures x 8 node counts) per iteration on
+// an uncached private-cluster environment, so the engine fan-out and the
+// closed-form application paths dominate, not memoization.
+func BenchmarkMeasureBatch(b *testing.B) {
+	env, err := NewPrivateClusterEnv(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Reps = 2
+	w, err := WorkloadByName("M.milc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt := env.NewBatch()
+		var handles []*measure.Value
+		for _, p := range []float64{2, 5, 8} {
+			for c := 0; c <= 7; c++ {
+				ps, err := measure.HomogeneousPressures(8, c, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles = append(handles, bt.Normalized(w, ps))
+			}
+		}
+		if err := bt.Run(); err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range handles {
+			if _, err := h.Result(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEnginePoolReuse measures a task-engine run in steady state,
+// where every iteration recycles a pooled, pre-sized event engine;
+// allocations per run are the interesting number.
+func BenchmarkEnginePoolReuse(b *testing.B) {
+	w, err := WorkloadByName("H.KM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sd := []float64{2, 1, 1, 1, 1, 1, 1, 1}
+	net := netsim.TenGbE()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := w.App.Run(app.Params{Slowdown: sd, Net: net, RNG: sim.NewRNG(int64(i))}); err != nil {

@@ -14,12 +14,13 @@ go build ./...
 go build -o /dev/null ./cmd/interfd ./cmd/benchdiff
 echo "== go test -race (incl. internal/obs + cmd/interfd handler tests) =="
 go test -race ./...
-echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim) =="
-# The parallel placement search and the fault plan must be pure functions
-# of the seed; run their packages twice uncached so nondeterminism across
-# runs is caught.
+echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim/measure/app) =="
+# The parallel placement search, the fault plan, and the measurement batch
+# engine must be pure functions of the seed; run their packages twice
+# uncached so nondeterminism across runs is caught. internal/measure's
+# batch tests hammer one Env from many goroutines under the race detector.
 go test -race -count=2 ./internal/placement ./internal/core ./internal/profile \
-  ./internal/fault ./internal/sim
+  ./internal/fault ./internal/sim ./internal/measure ./internal/app
 
 echo "== fuzz smoke (10s per target) =="
 # Short exploratory runs of the committed fuzz targets; the committed
@@ -56,11 +57,11 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   trap 'rm -f "$fresh"' EXIT
   BENCH_OUT="$fresh" ./scripts/bench.sh >/dev/null
   go run ./cmd/benchdiff -threshold "${BENCH_THRESHOLD:-50}" BENCH_telemetry.json "$fresh"
-  # The search and prediction hot paths get a tighter gate: they are the
-  # benchmarks this repository optimises, so they may not quietly erode
-  # behind the generous whole-suite threshold.
+  # The search, prediction, and measurement hot paths get a tighter gate:
+  # they are the benchmarks this repository optimises, so they may not
+  # quietly erode behind the generous whole-suite threshold.
   go run ./cmd/benchdiff -quiet -threshold "${BENCH_HOT_THRESHOLD:-30}" \
-    -only BenchmarkPlacementSearch,BenchmarkModelPredict \
+    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12 \
     BENCH_telemetry.json "$fresh"
 fi
 

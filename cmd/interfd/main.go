@@ -33,6 +33,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/schedule"
@@ -59,6 +60,7 @@ type daemonConfig struct {
 	qosFraction      float64
 	qosBound         float64
 	samples          int // heterogeneity samples per model build
+	workers          int // measurement batch workers (0 = GOMAXPROCS)
 	searchIters      int // placement-search iterations per round
 	searchRestarts   int // parallel annealing restarts per round
 	seriesCap        int // retained points per convergence series
@@ -105,6 +107,7 @@ func main() {
 		qosFrac   = flag.Float64("qos-fraction", cfg.qosFraction, "fraction of jobs carrying a QoS bound")
 		qosBound  = flag.Float64("qos-bound", cfg.qosBound, "QoS bound on normalized execution time")
 		samples   = flag.Int("profile-samples", cfg.samples, "heterogeneity samples per startup model build")
+		workers   = flag.Int("workers", cfg.workers, "measurement batch workers (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 		iters     = flag.Int("search-iters", cfg.searchIters, "placement-search iterations per round")
 		restarts  = flag.Int("search-restarts", cfg.searchRestarts, "independent annealing restarts per round, run in parallel")
 		pause     = flag.Duration("round-pause", cfg.roundPause, "wall-clock pause between rounds")
@@ -129,6 +132,7 @@ func main() {
 	cfg.jobUnits, cfg.batch, cfg.rounds = *jobUnits, *batch, *rounds
 	cfg.meanInterarrival, cfg.qosFraction, cfg.qosBound = *interarr, *qosFrac, *qosBound
 	cfg.samples, cfg.searchIters, cfg.roundPause = *samples, *iters, *pause
+	cfg.workers = *workers
 	cfg.searchRestarts = *restarts
 	cfg.reportPath, cfg.tracePath = *report, *trace
 	cfg.faultsPath = *faults
@@ -215,6 +219,11 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 	}
 	env.Telemetry = reg
 	env.Tracer = tracer
+	env.Workers = cfg.workers
+	// The content cache memoizes repeated profiling settings across the
+	// mix; it disables itself automatically while host degradation from an
+	// active fault plan could change measured values.
+	env.Cache = measure.NewCache()
 	if inj != nil {
 		env.HostDegrade = inj.DegradeFactor
 		env.FailureHook = inj.FailureHook // profiling phase only; cleared below

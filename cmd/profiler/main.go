@@ -15,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bubble"
 	"repro/internal/core"
 	"repro/internal/hetero"
+	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/telemetry"
@@ -37,6 +39,8 @@ func main() {
 		samples     = flag.Int("samples", 60, "heterogeneous samples for policy selection")
 		nodes       = flag.Int("nodes", 8, "nodes the application spans while profiled")
 		seed        = flag.Int64("seed", 1, "experiment seed")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement batch workers (1 = serial; results are identical either way)")
+		cachePath   = flag.String("measure-cache", "", "persist the measurement cache to this JSON file (loaded at start, saved at exit)")
 		metricsPath = flag.String("metrics", "", "write a JSON RunReport (metrics snapshot) to this file ('-' for stdout)")
 		tracePath   = flag.String("trace", "", "write recorded spans as JSON to this file ('-' for stdout)")
 		listen      = flag.String("listen", "", "serve the observability plane (/metrics, /healthz, /readyz, /api/*, /debug/pprof/) on this address for the duration of the run, e.g. :9090")
@@ -86,6 +90,14 @@ func main() {
 	}
 	env.Telemetry = reg
 	env.Tracer = tracer
+	env.Workers = *workers
+	cache := measure.NewCache()
+	env.Cache = cache
+	if *cachePath != "" {
+		if err := cache.LoadFile(*cachePath); err != nil {
+			fatal(err)
+		}
+	}
 	w, err := interference.WorkloadByName(*name)
 	if err != nil {
 		fatal(err)
@@ -107,6 +119,13 @@ func main() {
 	}
 	logger.Info("model built", "workload", model.Workload,
 		"bubble_score", model.BubbleScore, "policy", model.Policy.String())
+	logger.Info("measurement cache", "hits", cache.Hits(), "misses", cache.Misses(), "entries", cache.Len())
+	if *cachePath != "" {
+		if err := cache.SaveFile(*cachePath); err != nil {
+			fatal(err)
+		}
+		logger.Info("measurement cache saved", "path", *cachePath)
+	}
 
 	out.KV("workload", "%s", model.Workload)
 	out.KV("bubble score", "%.2f (paper: %.1f)", model.BubbleScore, w.TargetBubbleScore)

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -177,13 +179,39 @@ const (
 // appRunBuckets cover simulated makespans from 1 s to ~65k s.
 var appRunBuckets = telemetry.ExpBuckets(1, 4, 9)
 
+// enginePool recycles event engines across application runs, and engineHW
+// remembers the deepest event queue any run has needed so reused engines
+// start pre-sized and never regrow their heap mid-run. A reset engine is
+// bit-identical to a fresh one (sim.Engine.Reset), so pooling does not
+// affect results; the pool is safe for the measurement layer's concurrent
+// batch workers.
+var (
+	enginePool = sync.Pool{New: func() any { return sim.NewEngine() }}
+	engineHW   atomic.Int64
+)
+
 // engineFor builds the run's event engine, instrumented when requested.
 func engineFor(p Params) *sim.Engine {
-	eng := sim.NewEngine()
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset(int(engineHW.Load()))
 	if p.Telemetry != nil {
 		eng.Instrument(p.Telemetry)
 	}
 	return eng
+}
+
+// releaseEngine returns an engine to the pool, folding its queue
+// high-water mark into the pre-size hint for future runs.
+func releaseEngine(eng *sim.Engine) {
+	hw := int64(eng.QueueHighWater())
+	for {
+		cur := engineHW.Load()
+		if hw <= cur || engineHW.CompareAndSwap(cur, hw) {
+			break
+		}
+	}
+	eng.Instrument(nil)
+	enginePool.Put(eng)
 }
 
 // record logs a finished run's simulated makespan.
@@ -255,11 +283,20 @@ func nodeStreams(rng *sim.RNG, n int) []*sim.RNG {
 }
 
 // runBSP executes bulk-synchronous iterations: all nodes compute, the
-// slowest gates the iteration, then collectives run.
+// slowest gates the iteration, then collectives run. Uninstrumented runs
+// take the closed-form path — the BSP event schedule is statically known,
+// so replaying the engine's arithmetic directly is bit-identical and
+// skips the heap entirely. Instrumented runs keep the engine so the
+// sim_events_* metrics and per-kind histograms stay populated.
 func (s Spec) runBSP(p Params) (float64, error) {
-	eng := engineFor(p)
-	nodes := len(p.Slowdown)
-	streams := nodeStreams(p.RNG, nodes)
+	if p.Telemetry == nil {
+		return s.runBSPDirect(p)
+	}
+	return s.runBSPEngine(p)
+}
+
+// bspCollective computes the fixed per-iteration collective cost.
+func (s Spec) bspCollective(p Params, nodes int) float64 {
 	procs := nodes * s.ProcsPerNode
 	collective := p.Net.Allreduce(procs, s.AllreduceBytes) +
 		p.Net.Allgather(procs, s.AllgatherBytes) +
@@ -269,7 +306,58 @@ func (s Spec) runBSP(p Params) (float64, error) {
 		meanExcess += sd - 1
 	}
 	meanExcess /= float64(nodes)
-	collective += s.SyncDrag * s.IterSec * meanExcess
+	return collective + s.SyncDrag*s.IterSec*meanExcess
+}
+
+// checkDelay mirrors the engine's scheduling validation so the direct
+// paths reject exactly the delays AfterKind would.
+func checkDelay(d float64) error {
+	if d < 0 {
+		return fmt.Errorf("%w: negative delay %v", sim.ErrPastEvent, d)
+	}
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		return fmt.Errorf("sim: non-finite event time %v", d)
+	}
+	return nil
+}
+
+// runBSPDirect is the engine-free BSP evaluation. It must stay
+// bit-identical to runBSPEngine: per-iteration jitter is drawn in node
+// order at scheduling time, an iteration ends at max_i(now + Time(d_i)),
+// and the collective extends that via the same sim.Time additions the
+// engine's AfterKind performs.
+func (s Spec) runBSPDirect(p Params) (float64, error) {
+	nodes := len(p.Slowdown)
+	streams := nodeStreams(p.RNG, nodes)
+	collective := s.bspCollective(p, nodes)
+	if err := checkDelay(collective); err != nil {
+		return 0, err
+	}
+	now := sim.Time(0)
+	for iter := 0; iter < s.Iterations; iter++ {
+		var worst sim.Time
+		for i := 0; i < nodes; i++ {
+			d := s.IterSec * p.Slowdown[i] * streams[i].JitterAround1(s.NoiseSigma)
+			if err := checkDelay(d); err != nil {
+				return 0, err
+			}
+			if t := now + sim.Time(d); t > worst {
+				worst = t
+			}
+		}
+		now = worst + sim.Time(collective)
+	}
+	return float64(now), nil
+}
+
+// runBSPEngine is the event-driven BSP evaluation, used when the run is
+// instrumented.
+func (s Spec) runBSPEngine(p Params) (float64, error) {
+	eng := engineFor(p)
+	defer releaseEngine(eng)
+	nodes := len(p.Slowdown)
+	streams := nodeStreams(p.RNG, nodes)
+	collective := s.bspCollective(p, nodes)
 
 	iter := 0
 	var schedErr error
@@ -309,9 +397,48 @@ func (s Spec) runBSP(p Params) (float64, error) {
 
 // runWavefront executes iterations whose per-node stages are serialized:
 // node 0 computes and hands off to node 1, and so on. Each node's slowdown
-// therefore contributes additively to the iteration.
+// therefore contributes additively to the iteration. Like runBSP,
+// uninstrumented runs take a bit-identical closed-form path.
 func (s Spec) runWavefront(p Params) (float64, error) {
+	if p.Telemetry == nil {
+		return s.runWavefrontDirect(p)
+	}
+	return s.runWavefrontEngine(p)
+}
+
+// runWavefrontDirect is the engine-free wavefront evaluation. The engine
+// schedule is a strict chain — stage, hop, stage, hop, ... — with no hop
+// after the very last stage of the last iteration, and jitter drawn one
+// stage at a time in (iteration, node) order; this replays exactly that
+// arithmetic via the same sim.Time additions.
+func (s Spec) runWavefrontDirect(p Params) (float64, error) {
+	nodes := len(p.Slowdown)
+	streams := nodeStreams(p.RNG, nodes)
+	hop := p.Net.PointToPoint(256 * 1024) // stage hand-off message
+	if err := checkDelay(hop); err != nil {
+		return 0, err
+	}
+	now := sim.Time(0)
+	for iter := 0; iter < s.Iterations; iter++ {
+		for node := 0; node < nodes; node++ {
+			d := s.IterSec / float64(nodes) * p.Slowdown[node] * streams[node].JitterAround1(s.NoiseSigma)
+			if err := checkDelay(d); err != nil {
+				return 0, err
+			}
+			now += sim.Time(d)
+			if !(iter == s.Iterations-1 && node == nodes-1) {
+				now += sim.Time(hop)
+			}
+		}
+	}
+	return float64(now), nil
+}
+
+// runWavefrontEngine is the event-driven wavefront evaluation, used when
+// the run is instrumented.
+func (s Spec) runWavefrontEngine(p Params) (float64, error) {
 	eng := engineFor(p)
+	defer releaseEngine(eng)
 	nodes := len(p.Slowdown)
 	streams := nodeStreams(p.RNG, nodes)
 	hop := p.Net.PointToPoint(256 * 1024) // stage hand-off message
@@ -373,6 +500,7 @@ type taskState struct {
 // speculation, shuffle volume).
 func (s Spec) runTasks(p Params) (float64, error) {
 	eng := engineFor(p)
+	defer releaseEngine(eng)
 	nodes := len(p.Slowdown)
 	streams := nodeStreams(p.RNG, nodes)
 

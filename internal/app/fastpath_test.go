@@ -1,0 +1,77 @@
+package app
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestClosedFormMatchesEngine: BSP and Wavefront take a closed-form path
+// when the run is uninstrumented and the event-engine path when telemetry
+// is attached; the makespans must be bit-identical, since the closed form
+// replays the exact engine arithmetic (same draws, same additions).
+func TestClosedFormMatchesEngine(t *testing.T) {
+	specs := []Spec{bspSpec(), wavefrontSpec()}
+	slowdowns := [][]float64{
+		{1, 1, 1, 1},
+		{2.5, 1, 1, 1, 1, 1, 1, 1},
+		{1.3, 1.7},
+		{1},
+		{4, 3, 2, 1, 1.5, 2.5},
+	}
+	for _, s := range specs {
+		for _, seed := range []int64{1, 7, 42} {
+			for _, sd := range slowdowns {
+				base := Params{Slowdown: sd, Net: netsim.TenGbE()}
+				direct := base
+				direct.RNG = sim.NewRNG(seed).Stream("fastpath")
+				engine := base
+				engine.RNG = sim.NewRNG(seed).Stream("fastpath")
+				engine.Telemetry = telemetry.NewRegistry()
+				d, err := s.Run(direct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := s.Run(engine)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != e {
+					t.Errorf("%s seed=%d sd=%v: direct %v != engine %v", s.Name, seed, sd, d, e)
+				}
+			}
+		}
+	}
+}
+
+// TestEnginePoolReuseDeterministic: repeated runs recycle engines through
+// the pool; a reused engine must not leak state into later runs.
+func TestEnginePoolReuseDeterministic(t *testing.T) {
+	specs := []Spec{taskPoolSpec(), stagesSpec(), bspSpec()}
+	for _, s := range specs {
+		run := func() float64 {
+			p := Params{
+				Slowdown: []float64{2, 1, 1.5, 1},
+				Net:      netsim.TenGbE(),
+				RNG:      sim.NewRNG(11).Stream("pool"),
+			}
+			if s.Engine == BSP {
+				// Force the engine path so BSP exercises the pool too.
+				p.Telemetry = telemetry.NewRegistry()
+			}
+			v, err := s.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+		want := run()
+		for i := 0; i < 5; i++ {
+			if got := run(); got != want {
+				t.Fatalf("%s: run %d = %v, want %v (pooled engine leaked state)", s.Name, i, got, want)
+			}
+		}
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Node describes the shared hardware of one physical host. The defaults in
@@ -111,12 +113,22 @@ func (p MemProfile) MissRatio(shareMB float64) float64 {
 	if p.WSSMB <= 0 {
 		return p.MRMin
 	}
+	if p.MRMax == p.MRMin {
+		// Flat curve: the power-law term is multiplied by zero, so the
+		// result is exactly MRMax for any share.
+		return p.MRMax
+	}
 	cover := shareMB / p.WSSMB
 	if cover > 1 {
 		cover = 1
 	}
 	if cover < 0 {
 		cover = 0
+	}
+	if p.Gamma == 1 {
+		// math.Pow(x, 1) == x exactly (documented special case), so this
+		// branch is bit-identical to the general formula below.
+		return p.MRMax - (p.MRMax-p.MRMin)*cover
 	}
 	return p.MRMax - (p.MRMax-p.MRMin)*math.Pow(cover, p.Gamma)
 }
@@ -186,12 +198,12 @@ func Solve(node Node, occ []Occupant) (Result, error) {
 	}
 	cpi := make([]float64, n)
 	missGBps := make([]float64, n)
+	miss := make([]float64, n) // misses per second, for share competition
 	util := 0.0
 
 	for iter := 0; iter < fixedPointIters; iter++ {
 		latEff := node.MemLatNs * (1 + queueWeight*util/(1-util))
 		var totalGBps float64
-		miss := make([]float64, n) // misses per second, for share competition
 		for i, o := range occ {
 			mr := o.Prof.MissRatio(share[i])
 			missPI := o.Prof.APKI / 1000 * mr // misses per instruction
@@ -203,7 +215,12 @@ func Solve(node Node, occ []Occupant) (Result, error) {
 			totalGBps += missGBps[i]
 		}
 		newUtil := math.Min(totalGBps/node.MemBWGBps, bwUtilCap)
+		prevUtil := util
 		util = damping*util + (1-damping)*newUtil
+		// Each iteration is a pure function of (util, share): once both
+		// come out of an iteration bitwise unchanged, every remaining
+		// iteration would reproduce them, so breaking early is exact.
+		stable := util == prevUtil
 
 		var totalMiss float64
 		for _, m := range miss {
@@ -212,8 +229,15 @@ func Solve(node Node, occ []Occupant) (Result, error) {
 		if totalMiss > 0 {
 			for i := range share {
 				target := node.LLCMB * miss[i] / totalMiss
-				share[i] = damping*share[i] + (1-damping)*target
+				next := damping*share[i] + (1-damping)*target
+				if next != share[i] {
+					stable = false
+				}
+				share[i] = next
 			}
+		}
+		if stable {
+			break
 		}
 	}
 
@@ -251,6 +275,28 @@ func Solve(node Node, occ []Occupant) (Result, error) {
 	return res, nil
 }
 
+// soloKey identifies a SoloCPI computation. Occupant.Name does not enter
+// the arithmetic and is deliberately excluded so renamed occupants share
+// entries.
+type soloKey struct {
+	node  Node
+	prof  MemProfile
+	cores int
+}
+
+// soloMemo caches SoloCPI results. SoloCPI is a pure function of its key
+// and Solve re-evaluates it for every occupant of every call, so the same
+// handful of workload and bubble profiles recur millions of times across
+// an experiment run. Insertions are bounded so environments that draw
+// profiles from a continuum (the EC2 background tenants) cannot grow the
+// map without limit; lookups past the cap simply miss and recompute.
+var (
+	soloMemo     sync.Map // soloKey -> float64
+	soloMemoSize atomic.Int64
+)
+
+const soloMemoCap = 1 << 14
+
 // SoloCPI returns the effective CPI of an occupant running alone on the
 // node (full LLC, private bandwidth, still subject to its own queueing).
 func SoloCPI(node Node, o Occupant) (float64, error) {
@@ -263,6 +309,10 @@ func SoloCPI(node Node, o Occupant) (float64, error) {
 	if o.Cores <= 0 {
 		return 0, errors.New("contention: non-positive cores")
 	}
+	key := soloKey{node: node, prof: o.Prof, cores: o.Cores}
+	if v, ok := soloMemo.Load(key); ok {
+		return v.(float64), nil
+	}
 	util := 0.0
 	cpi := o.Prof.CPICore
 	mr := o.Prof.MissRatio(node.LLCMB)
@@ -273,7 +323,18 @@ func SoloCPI(node Node, o Occupant) (float64, error) {
 		ips := float64(o.Cores) * node.FreqGHz * 1e9 / cpi
 		gbps := ips * missPI * cacheLineBytes / 1e9
 		newUtil := math.Min(gbps/node.MemBWGBps, bwUtilCap)
+		prevUtil := util
 		util = damping*util + (1-damping)*newUtil
+		if util == prevUtil {
+			// Exact fixpoint: every remaining iteration would leave
+			// (cpi, util) unchanged.
+			break
+		}
+	}
+	if soloMemoSize.Load() < soloMemoCap {
+		if _, dup := soloMemo.LoadOrStore(key, cpi); !dup {
+			soloMemoSize.Add(1)
+		}
 	}
 	return cpi, nil
 }

@@ -171,6 +171,58 @@ func HeteroMeasurer(env *measure.Env, w workloads.Workload) hetero.Measurer {
 	}
 }
 
+// PropagationBatchMeasurer is PropagationMeasurer over measure.Batch: each
+// round of settings the profiling algorithm requests becomes one batch of
+// normalized measurements, fanned over the environment's worker pool.
+func PropagationBatchMeasurer(env *measure.Env, w workloads.Workload, nodes int) profile.BatchMeasurer {
+	return func(settings []profile.Setting) ([]float64, error) {
+		b := env.NewBatch()
+		handles := make([]*measure.Value, len(settings))
+		for i, s := range settings {
+			ps, err := measure.HomogeneousPressures(nodes, s.Interfering, s.Pressure)
+			if err != nil {
+				return nil, err
+			}
+			handles[i] = b.Normalized(w, ps)
+		}
+		if err := b.Run(); err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(settings))
+		for i, h := range handles {
+			v, err := h.Result()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+}
+
+// HeteroBatchMeasurer is HeteroMeasurer over measure.Batch.
+func HeteroBatchMeasurer(env *measure.Env, w workloads.Workload) hetero.BatchMeasurer {
+	return func(configs [][]float64) ([]float64, error) {
+		b := env.NewBatch()
+		handles := make([]*measure.Value, len(configs))
+		for i, cfg := range configs {
+			handles[i] = b.Normalized(w, cfg)
+		}
+		if err := b.Run(); err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(configs))
+		for i, h := range handles {
+			v, err := h.Result()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+}
+
 // BuildModel constructs the full interference model for one workload by
 // profiling the environment: propagation matrix, heterogeneity policy, and
 // bubble score.
@@ -186,21 +238,21 @@ func BuildModel(env *measure.Env, w workloads.Workload, cfg BuildConfig) (*Model
 	}
 	span := cfg.Tracer.StartSpan("core.build-model/" + w.Name)
 	defer span.End()
-	meas := PropagationMeasurer(env, w, cfg.Nodes)
+	meas := PropagationBatchMeasurer(env, w, cfg.Nodes)
 	var res profile.Result
 	var err error
 	rng := sim.NewRNG(cfg.Seed).Stream("build").Stream(w.Name)
 	switch cfg.Algorithm {
 	case BinaryOptimized:
-		res, err = profile.BinaryOptimized(meas, bubble.MaxPressure, cfg.Nodes, cfg.Eps)
+		res, err = profile.BinaryOptimizedBatch(meas, bubble.MaxPressure, cfg.Nodes, cfg.Eps)
 	case BinaryBrute:
-		res, err = profile.BinaryBrute(meas, bubble.MaxPressure, cfg.Nodes, cfg.Eps)
+		res, err = profile.BinaryBruteBatch(meas, bubble.MaxPressure, cfg.Nodes, cfg.Eps)
 	case FullBrute:
-		res, err = profile.FullBrute(meas, bubble.MaxPressure, cfg.Nodes)
+		res, err = profile.FullBruteBatch(meas, bubble.MaxPressure, cfg.Nodes)
 	case Random30:
-		res, err = profile.RandomFrac(meas, bubble.MaxPressure, cfg.Nodes, 0.30, rng.Stream("random"))
+		res, err = profile.RandomFracBatch(meas, bubble.MaxPressure, cfg.Nodes, 0.30, rng.Stream("random"))
 	case Random50:
-		res, err = profile.RandomFrac(meas, bubble.MaxPressure, cfg.Nodes, 0.50, rng.Stream("random"))
+		res, err = profile.RandomFracBatch(meas, bubble.MaxPressure, cfg.Nodes, 0.50, rng.Stream("random"))
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
 	}
@@ -217,7 +269,7 @@ func BuildModel(env *measure.Env, w workloads.Workload, cfg BuildConfig) (*Model
 		}
 		tel.Counter(MetricModelsBuilt).Inc()
 	}
-	sel, err := hetero.Select(res.Matrix, HeteroMeasurer(env, w), cfg.Nodes, bubble.MaxPressure, cfg.Samples, rng.Stream("hetero"))
+	sel, err := hetero.SelectBatch(res.Matrix, HeteroBatchMeasurer(env, w), cfg.Nodes, bubble.MaxPressure, cfg.Samples, rng.Stream("hetero"))
 	if err != nil {
 		return nil, fmt.Errorf("core: policy selection %s: %w", w.Name, err)
 	}

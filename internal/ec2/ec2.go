@@ -82,6 +82,27 @@ func pow2(x float64) float64 {
 	return r * (1 + x)
 }
 
+// mix64 is SplitMix64's finalizer: a cheap, statistically strong 64-bit
+// mixer used to derive background draws directly from a stream identity.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit01 maps a hash to a uniform float64 in [0,1) from its top 53 bits.
+func unit01(x uint64) float64 {
+	return float64(x>>11) * 0x1p-53
+}
+
+// Salts separating the independent background draws derived from one
+// measurement stream.
+const (
+	eraSalt  = 0xe7a05eed000000a1
+	hostSalt = 0xfedcba0987654321
+)
+
 // NewEnv returns a measurement environment over the EC2 cluster with
 // background-tenant interference enabled. The background draw depends on
 // the (repetition, host) stream it is handed, so it changes between runs —
@@ -93,16 +114,26 @@ func NewEnv(seed int64) (*measure.Env, error) {
 	}
 	env.UnitCores = UnitCores
 	env.Background = func(host int, r *sim.RNG) []contention.Occupant {
+		// The handed stream's seed already identifies the (measurement,
+		// repetition) context; hash it with splitmix64 instead of seeding
+		// math/rand sources. Seeding the legacy generator costs ~600
+		// state-init steps per derived stream — it dominated the EC2
+		// experiments' runtime, called once per host per repetition for
+		// at most two draws. The hashed draws keep the same distributions
+		// and the same determinism: equal (stream, host) in, equal
+		// occupants out.
+		base := uint64(r.Seed())
 		// Era: how busy this slice of the region is during this
-		// measurement — shared by all hosts, redrawn per measurement.
-		// This is what makes repeated measurements of the same
-		// configuration inconsistent, as the paper observed.
-		era := r.Stream("era").Uniform(0.4, 1.6)
-		hr := r.StreamN("host", host)
-		if !hr.Bool(tenantProb) {
+		// measurement — shared by all hosts (host is not mixed in),
+		// redrawn per measurement. This is what makes repeated
+		// measurements of the same configuration inconsistent, as the
+		// paper observed.
+		era := 0.4 + 1.2*unit01(mix64(base^eraSalt))
+		h := mix64(base ^ mix64(hostSalt+uint64(host)))
+		if unit01(h) >= tenantProb {
 			return nil
 		}
-		p := hr.Uniform(tenantMinPressure, tenantMaxPressure) * era
+		p := (tenantMinPressure + (tenantMaxPressure-tenantMinPressure)*unit01(mix64(h))) * era
 		if p > float64(2*tenantMaxPressure) {
 			p = 2 * tenantMaxPressure
 		}

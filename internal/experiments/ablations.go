@@ -58,15 +58,23 @@ func (l *Lab) Ablations() (Output, error) {
 }
 
 // curveAtPressure measures the normalized-time curve of a workload over
-// 0..8 interfering nodes at one pressure.
+// 0..8 interfering nodes at one pressure, as one measurement batch.
 func (l *Lab) curveAtPressure(w workloads.Workload, pressure float64) ([]float64, error) {
-	out := make([]float64, 9)
+	b := l.Env.NewBatch()
+	handles := make([]*measure.Value, 9)
 	for k := 0; k <= 8; k++ {
 		ps, err := measure.HomogeneousPressures(8, k, pressure)
 		if err != nil {
 			return nil, err
 		}
-		v, err := l.Env.NormalizedWithBubbles(w, ps)
+		handles[k] = b.Normalized(w, ps)
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 9)
+	for k, h := range handles {
+		v, err := h.Result()
 		if err != nil {
 			return nil, err
 		}
@@ -204,19 +212,30 @@ func (l *Lab) ablationTaskEngine() (*report.Table, error) {
 		{"speculation off, locality 0.9", false, 0.9},
 		{"speculation on, locality 0.0", true, 0.0},
 	}
-	for _, v := range variants {
+	b := l.Env.NewBatch()
+	handles := make([][]*measure.Value, len(variants))
+	for vi, v := range variants {
 		w := base
 		w.App.Speculative = v.speculative
 		w.App.LocalityFrac = v.locality
 		w.App.Name = fmt.Sprintf("km-%v-%v", v.speculative, v.locality)
 		w.Name = w.App.Name
-		row := []string{v.label}
-		for _, p := range []float64{2, 5, 8} {
+		handles[vi] = make([]*measure.Value, 3)
+		for pi, p := range []float64{2, 5, 8} {
 			ps, err := measure.HomogeneousPressures(8, 1, p)
 			if err != nil {
 				return nil, err
 			}
-			val, err := l.Env.NormalizedWithBubbles(w, ps)
+			handles[vi][pi] = b.Normalized(w, ps)
+		}
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		row := []string{v.label}
+		for _, h := range handles[vi] {
+			val, err := h.Result()
 			if err != nil {
 				return nil, err
 			}
@@ -253,9 +272,17 @@ func (l *Lab) ablationModelVsNaive() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		b := l.Env.NewBatch()
+		handles := make([]*measure.Value, len(configs))
+		for i, cfg := range configs {
+			handles[i] = b.Normalized(w, cfg)
+		}
+		if err := b.Run(); err != nil {
+			return nil, err
+		}
 		var modelErrs, naiveErrs []float64
-		for _, cfg := range configs {
-			actual, err := l.Env.NormalizedWithBubbles(w, cfg)
+		for i, cfg := range configs {
+			actual, err := handles[i].Result()
 			if err != nil {
 				return nil, err
 			}

@@ -43,12 +43,20 @@ func (l *Lab) figure2() (Output, error) {
 	tb := report.NewTable(
 		"Figure 2: normalized execution time of 126.lammps vs. number of nodes running 462.libquantum",
 		"interfering nodes", "naive model", "real")
+	b := l.Env.NewBatch()
+	handles := make([]*measure.Value, 9)
 	for k := 0; k <= 8; k++ {
 		coNodes := make([]int, k)
 		for i := range coNodes {
 			coNodes[i] = i
 		}
-		real, err := l.Env.RunWithCoRunner(lmps, libq, 8, coNodes)
+		handles[k] = b.CoRunner(lmps, libq, 8, coNodes)
+	}
+	if err := b.Run(); err != nil {
+		return Output{}, err
+	}
+	for k := 0; k <= 8; k++ {
+		real, err := handles[k].Result()
 		if err != nil {
 			return Output{}, err
 		}
@@ -97,14 +105,25 @@ func (l *Lab) figure3(env *measure.Env, nodes int, names []string, id string) (O
 			headers = append(headers, fmt.Sprint(c))
 		}
 		tb := report.NewTable(fmt.Sprintf("%s: %s normalized execution time", id, name), headers...)
-		for _, p := range pressures {
-			row := []string{report.F(p, 0)}
-			for _, c := range counts {
+		b := env.NewBatch()
+		handles := make([][]*measure.Value, len(pressures))
+		for pi, p := range pressures {
+			handles[pi] = make([]*measure.Value, len(counts))
+			for ci, c := range counts {
 				ps, err := measure.HomogeneousPressures(nodes, c, p)
 				if err != nil {
 					return Output{}, err
 				}
-				v, err := env.NormalizedWithBubbles(w, ps)
+				handles[pi][ci] = b.Normalized(w, ps)
+			}
+		}
+		if err := b.Run(); err != nil {
+			return Output{}, err
+		}
+		for pi, p := range pressures {
+			row := []string{report.F(p, 0)}
+			for ci := range counts {
+				v, err := handles[pi][ci].Result()
 				if err != nil {
 					return Output{}, err
 				}
@@ -172,20 +191,20 @@ func (l *Lab) Table2Figure4() (Output, error) {
 func (l *Lab) Table3Figures67() (Output, error) {
 	type algo struct {
 		name string
-		run  func(profile.Measurer, *sim.RNG) (profile.Result, error)
+		run  func(profile.BatchMeasurer, *sim.RNG) (profile.Result, error)
 	}
 	algos := []algo{
-		{"binary-optimized", func(m profile.Measurer, _ *sim.RNG) (profile.Result, error) {
-			return profile.BinaryOptimized(m, bubble.MaxPressure, 8, 0)
+		{"binary-optimized", func(m profile.BatchMeasurer, _ *sim.RNG) (profile.Result, error) {
+			return profile.BinaryOptimizedBatch(m, bubble.MaxPressure, 8, 0)
 		}},
-		{"binary-brute", func(m profile.Measurer, _ *sim.RNG) (profile.Result, error) {
-			return profile.BinaryBrute(m, bubble.MaxPressure, 8, 0)
+		{"binary-brute", func(m profile.BatchMeasurer, _ *sim.RNG) (profile.Result, error) {
+			return profile.BinaryBruteBatch(m, bubble.MaxPressure, 8, 0)
 		}},
-		{"random-50%", func(m profile.Measurer, r *sim.RNG) (profile.Result, error) {
-			return profile.RandomFrac(m, bubble.MaxPressure, 8, 0.50, r)
+		{"random-50%", func(m profile.BatchMeasurer, r *sim.RNG) (profile.Result, error) {
+			return profile.RandomFracBatch(m, bubble.MaxPressure, 8, 0.50, r)
 		}},
-		{"random-30%", func(m profile.Measurer, r *sim.RNG) (profile.Result, error) {
-			return profile.RandomFrac(m, bubble.MaxPressure, 8, 0.30, r)
+		{"random-30%", func(m profile.BatchMeasurer, r *sim.RNG) (profile.Result, error) {
+			return profile.RandomFracBatch(m, bubble.MaxPressure, 8, 0.30, r)
 		}},
 	}
 	perAppErr := report.NewTable("Figure 6: prediction error per workload (%)",
@@ -205,8 +224,8 @@ func (l *Lab) Table3Figures67() (Output, error) {
 		if err != nil {
 			return Output{}, err
 		}
-		meas := core.PropagationMeasurer(l.Env, w, 8)
-		truth, err := profile.FullBrute(meas, bubble.MaxPressure, 8)
+		meas := core.PropagationBatchMeasurer(l.Env, w, 8)
+		truth, err := profile.FullBruteBatch(meas, bubble.MaxPressure, 8)
 		if err != nil {
 			return Output{}, err
 		}

@@ -32,14 +32,25 @@ func (l *Lab) Figure12() (Output, error) {
 			headers = append(headers, fmt.Sprint(c))
 		}
 		tb := report.NewTable(fmt.Sprintf("Figure 12: %s on EC2 (32 VMs)", name), headers...)
-		for _, p := range pressures {
-			row := []string{report.F(p, 0)}
-			for _, c := range counts {
+		b := env.NewBatch()
+		handles := make([][]*measure.Value, len(pressures))
+		for pi, p := range pressures {
+			handles[pi] = make([]*measure.Value, len(counts))
+			for ci, c := range counts {
 				ps, err := measure.HomogeneousPressures(ec2env.Nodes, c, p)
 				if err != nil {
 					return Output{}, err
 				}
-				v, err := env.NormalizedWithBubbles(w, ps)
+				handles[pi][ci] = b.Normalized(w, ps)
+			}
+		}
+		if err := b.Run(); err != nil {
+			return Output{}, err
+		}
+		for pi, p := range pressures {
+			row := []string{report.F(p, 0)}
+			for ci := range counts {
+				v, err := handles[pi][ci].Result()
 				if err != nil {
 					return Output{}, err
 				}
@@ -108,16 +119,15 @@ func (l *Lab) Figure13() (Output, error) {
 		if err != nil {
 			return Output{}, err
 		}
-		var errs []float64
+		var coNames []string
 		for _, coName := range names {
-			if coName == appName {
-				continue
+			if coName != appName {
+				coNames = append(coNames, coName)
 			}
-			_, _, e, err := l.validationError(env, model, appName, coName, ec2env.Nodes)
-			if err != nil {
-				return Output{}, err
-			}
-			errs = append(errs, e)
+		}
+		_, _, errs, err := l.validationErrors(env, model, appName, coNames, ec2env.Nodes)
+		if err != nil {
+			return Output{}, err
 		}
 		mx, err := stats.Max(errs)
 		if err != nil {

@@ -50,6 +50,10 @@ type Config struct {
 	// Logger, when non-nil, receives structured progress events (model
 	// builds, experiment starts). Nil silences them.
 	Logger *slog.Logger
+	// Workers bounds the measurement batch worker pool in every
+	// environment the lab creates; <= 0 means GOMAXPROCS, 1 forces the
+	// serial reference path. Results are bit-identical either way.
+	Workers int
 }
 
 // log returns the configured logger or a no-op one.
@@ -112,6 +116,12 @@ type Output struct {
 type Lab struct {
 	Cfg Config
 	Env *measure.Env // private 8-node cluster
+	// Cache is the content-addressed measurement cache shared by every
+	// environment the lab creates, so overlapping settings across
+	// experiment families (Figure 12 / Table 6 / Figure 13, the Table 3
+	// algorithm comparison, ...) are measured once. It can be persisted
+	// across runs with measure.Cache.SaveFile/LoadFile.
+	Cache *measure.Cache
 
 	mu      sync.Mutex
 	models  map[string]*core.Model
@@ -126,12 +136,16 @@ func NewLab(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache := measure.NewCache()
 	env.Reps = cfg.reps()
 	env.Telemetry = cfg.Telemetry
 	env.Tracer = cfg.Tracer
+	env.Workers = cfg.Workers
+	env.Cache = cache
 	return &Lab{
 		Cfg:     cfg,
 		Env:     env,
+		Cache:   cache,
 		models:  map[string]*core.Model{},
 		naives:  map[string]*core.NaiveModel{},
 		ec2Mods: map[string]*core.Model{},
@@ -215,6 +229,8 @@ func (l *Lab) EC2Env() (*measure.Env, error) {
 	env.Reps = l.Cfg.reps()
 	env.Telemetry = l.Cfg.Telemetry
 	env.Tracer = l.Cfg.Tracer
+	env.Workers = l.Cfg.Workers
+	env.Cache = l.Cache
 	l.ec2Env = env
 	return env, nil
 }
@@ -314,15 +330,22 @@ func All(cfg Config) ([]Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	return lab.RunAll()
+}
+
+// RunAll runs every experiment on the lab and returns their outputs in
+// paper order. Callers that need the lab afterwards (e.g. to persist its
+// measurement cache) use this instead of All.
+func (l *Lab) RunAll() ([]Output, error) {
 	var outs []Output
 	for _, r := range Runners() {
 		start := time.Now()
-		cfg.log().Info("running experiment", "id", r.ID)
-		o, err := r.Run(lab)
+		l.Cfg.log().Info("running experiment", "id", r.ID)
+		o, err := r.Run(l)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
 		}
-		cfg.log().Info("experiment done", "id", r.ID, "elapsed", time.Since(start).Round(time.Millisecond))
+		l.Cfg.log().Info("experiment done", "id", r.ID, "elapsed", time.Since(start).Round(time.Millisecond))
 		outs = append(outs, o)
 	}
 	return outs, nil

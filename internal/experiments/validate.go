@@ -25,27 +25,59 @@ func (l *Lab) pairPrediction(env *measure.Env, model *core.Model, coScore float6
 // validationError measures one co-run pair on the environment and returns
 // app's prediction error (percent).
 func (l *Lab) validationError(env *measure.Env, model *core.Model, appName, coName string, nodes int) (predicted, actual, errPct float64, err error) {
+	preds, actuals, errPcts, err := l.validationErrors(env, model, appName, []string{coName}, nodes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return preds[0], actuals[0], errPcts[0], nil
+}
+
+// validationErrors measures app co-run pairwise with every named co-runner
+// and returns the per-pair prediction, actual normalized time, and error
+// (percent), in coNames order. The co-runners' bubble scores are measured
+// first; the pair co-runs then go through one measurement batch, so
+// repeated pairs across experiments hit the lab's shared cache.
+func (l *Lab) validationErrors(env *measure.Env, model *core.Model, appName string, coNames []string, nodes int) (preds, actuals, errPcts []float64, err error) {
 	a, err := workloads.ByName(appName)
 	if err != nil {
-		return 0, 0, 0, err
+		return nil, nil, nil, err
 	}
-	b, err := workloads.ByName(coName)
-	if err != nil {
-		return 0, 0, 0, err
+	cos := make([]workloads.Workload, len(coNames))
+	scores := make([]float64, len(coNames))
+	for i, coName := range coNames {
+		co, err := workloads.ByName(coName)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		score, err := core.MeasureBubbleScore(env, co)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cos[i], scores[i] = co, score
 	}
-	coScore, err := core.MeasureBubbleScore(env, b)
-	if err != nil {
-		return 0, 0, 0, err
+	b := env.NewBatch()
+	handles := make([]*measure.PairValue, len(cos))
+	for i := range cos {
+		handles[i] = b.Pair(a, cos[i], nodes)
 	}
-	res, err := env.RunPair(a, b, nodes)
-	if err != nil {
-		return 0, 0, 0, err
+	if err := b.Run(); err != nil {
+		return nil, nil, nil, err
 	}
-	pred, err := l.pairPrediction(env, model, coScore, nodes)
-	if err != nil {
-		return 0, 0, 0, err
+	preds = make([]float64, len(cos))
+	actuals = make([]float64, len(cos))
+	errPcts = make([]float64, len(cos))
+	for i := range cos {
+		res, err := handles[i].Result()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pred, err := l.pairPrediction(env, model, scores[i], nodes)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		preds[i], actuals[i], errPcts[i] = pred, res.NormalizedA, stats.RelErrPct(pred, res.NormalizedA)
 	}
-	return pred, res.NormalizedA, stats.RelErrPct(pred, res.NormalizedA), nil
+	return preds, actuals, errPcts, nil
 }
 
 // Figure8 regenerates the model validation: every distributed application
@@ -67,15 +99,15 @@ func (l *Lab) Figure8() (Output, error) {
 		if err != nil {
 			return Output{}, err
 		}
+		_, _, errPcts, err := l.validationErrors(l.Env, model, appName, coRunners, 8)
+		if err != nil {
+			return Output{}, err
+		}
 		var errs, errsNoGems []float64
-		for _, coName := range coRunners {
-			_, _, e, err := l.validationError(l.Env, model, appName, coName, 8)
-			if err != nil {
-				return Output{}, err
-			}
-			errs = append(errs, e)
+		for i, coName := range coRunners {
+			errs = append(errs, errPcts[i])
 			if coName != "M.Gems" {
-				errsNoGems = append(errsNoGems, e)
+				errsNoGems = append(errsNoGems, errPcts[i])
 			}
 		}
 		sum, err := stats.Summarize(errs)
@@ -131,13 +163,13 @@ func (l *Lab) Figure9() (Output, error) {
 		e    float64
 	}
 	var rows []row
-	for _, coName := range coNames {
-		pred, actual, e, err := l.validationError(l.Env, gemsModel, "M.Gems", coName, 8)
-		if err != nil {
-			return Output{}, err
-		}
-		rev.MustAddRow(coName, report.Norm(pred), report.Norm(actual), report.F(e, 2))
-		rows = append(rows, row{coName, e})
+	preds, actuals, errPcts, err := l.validationErrors(l.Env, gemsModel, "M.Gems", coNames, 8)
+	if err != nil {
+		return Output{}, err
+	}
+	for i, coName := range coNames {
+		rev.MustAddRow(coName, report.Norm(preds[i]), report.Norm(actuals[i]), report.F(errPcts[i], 2))
+		rows = append(rows, row{coName, errPcts[i]})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].e < rows[j].e })
 	return Output{

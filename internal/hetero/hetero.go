@@ -120,6 +120,27 @@ func (p Policy) Predict(mat *profile.Matrix, pressures []float64) (float64, erro
 // an arbitrary heterogeneous pressure vector.
 type Measurer func(pressures []float64) (float64, error)
 
+// BatchMeasurer measures several heterogeneous configurations, returning
+// one value per configuration in order. Implementations may fan the
+// measurements out, but must return what measuring each configuration in
+// slice order would give.
+type BatchMeasurer func(configs [][]float64) ([]float64, error)
+
+// SerialBatchMeasurer adapts a single-configuration Measurer.
+func SerialBatchMeasurer(m Measurer) BatchMeasurer {
+	return func(configs [][]float64) ([]float64, error) {
+		out := make([]float64, len(configs))
+		for i, cfg := range configs {
+			v, err := m(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+}
+
 // ErrStats summarizes a policy's prediction error over the sampled
 // configurations (percent).
 type ErrStats struct {
@@ -182,19 +203,37 @@ func SampleConfig(rng *sim.RNG, nodes, maxPressure int) []float64 {
 // every policy's prediction, and pick the policy with the lowest average
 // error.
 func Select(mat *profile.Matrix, meas Measurer, nodes, maxPressure, samples int, rng *sim.RNG) (Selection, error) {
+	if meas == nil {
+		return Selection{}, errors.New("hetero: nil matrix, measurer, or RNG")
+	}
+	return SelectBatch(mat, SerialBatchMeasurer(meas), nodes, maxPressure, samples, rng)
+}
+
+// SelectBatch is Select over a batch measurer. The sampled configurations
+// are draw-independent of the measurements, so they are all drawn up front
+// and measured as one batch in sample order — bit-identical to the serial
+// loop.
+func SelectBatch(mat *profile.Matrix, meas BatchMeasurer, nodes, maxPressure, samples int, rng *sim.RNG) (Selection, error) {
 	if mat == nil || meas == nil || rng == nil {
 		return Selection{}, errors.New("hetero: nil matrix, measurer, or RNG")
 	}
 	if nodes <= 0 || maxPressure <= 0 || samples <= 0 {
 		return Selection{}, errors.New("hetero: non-positive search parameters")
 	}
+	configs := make([][]float64, samples)
+	for s := 0; s < samples; s++ {
+		configs[s] = SampleConfig(rng.StreamN("sample", s), nodes, maxPressure)
+	}
+	actuals, err := meas(configs)
+	if err != nil {
+		return Selection{}, err
+	}
+	if len(actuals) != samples {
+		return Selection{}, fmt.Errorf("hetero: batch measurer returned %d values for %d samples", len(actuals), samples)
+	}
 	errsByPolicy := map[Policy][]float64{}
 	for s := 0; s < samples; s++ {
-		cfg := SampleConfig(rng.StreamN("sample", s), nodes, maxPressure)
-		actual, err := meas(cfg)
-		if err != nil {
-			return Selection{}, err
-		}
+		cfg, actual := configs[s], actuals[s]
 		if actual <= 0 {
 			return Selection{}, fmt.Errorf("hetero: non-positive measured time %v", actual)
 		}

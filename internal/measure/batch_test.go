@@ -1,0 +1,310 @@
+package measure
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/contention"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// testBackground is a deterministic synthetic background: roughly every
+// other (host, rep, nonce) combination hosts one extra tenant whose memory
+// intensity is drawn from the per-combination stream, like the EC2
+// environment but without importing it (which would cycle).
+func testBackground(host int, r *sim.RNG) []contention.Occupant {
+	if !r.Bool(0.6) {
+		return nil
+	}
+	return []contention.Occupant{{
+		Name: "bg-tenant",
+		Prof: contention.MemProfile{
+			CPICore: 1.0, APKI: r.Uniform(3, 10), WSSMB: r.Uniform(4, 16),
+			MRMin: 0.3, MRMax: 0.6, Gamma: 2, MLP: 2,
+		},
+		Cores: 2,
+	}}
+}
+
+// newBatchEnv builds an env with a fresh content cache. workers controls
+// the batch pool; background toggles the synthetic uncontrolled tenants.
+func newBatchEnv(t *testing.T, workers int, background bool) *Env {
+	t.Helper()
+	e, err := NewEnv(cluster.Default(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reps = 2
+	e.UnitCores = 4 // three units plus a background tenant fit on a host
+	e.Workers = workers
+	e.Cache = NewCache()
+	if background {
+		e.Background = testBackground
+	}
+	return e
+}
+
+// batchSuite is the request sequence shared by the equivalence tests. It
+// exercises every batch kind, plus an exact duplicate to cover in-batch
+// aliasing.
+func batchSuite(t *testing.T) (a, b, c workloads.Workload, grids [][]float64) {
+	t.Helper()
+	var err error
+	if a, err = workloads.ByName("M.lmps"); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = workloads.ByName("C.libq"); err != nil {
+		t.Fatal(err)
+	}
+	if c, err = workloads.ByName("H.KM"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 2, 4, 2} { // 2 repeated on purpose
+		ps, err := HomogeneousPressures(8, k, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grids = append(grids, ps)
+	}
+	return a, b, c, grids
+}
+
+// runSerial performs the suite through the serial Env methods, in the same
+// order the batch submits them, and flattens every scalar produced.
+func runSerial(t *testing.T, e *Env) []float64 {
+	t.Helper()
+	a, b, c, grids := batchSuite(t)
+	var out []float64
+	for _, ps := range grids {
+		v, err := e.NormalizedWithBubbles(a, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	v, err := e.RunWithCoRunner(a, b, 8, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, v)
+	pr, err := e.RunPair(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, pr.TimeA, pr.TimeB, pr.NormalizedA, pr.NormalizedB)
+	outs, err := e.RunGroup([]workloads.Workload{a, b, c}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		out = append(out, o.Time, o.Solo, o.Normalized)
+	}
+	return out
+}
+
+// runBatched performs the identical suite through one Batch.
+func runBatched(t *testing.T, e *Env) []float64 {
+	t.Helper()
+	a, b, c, grids := batchSuite(t)
+	bt := e.NewBatch()
+	var norms []*Value
+	for _, ps := range grids {
+		norms = append(norms, bt.Normalized(a, ps))
+	}
+	co := bt.CoRunner(a, b, 8, []int{0, 1, 2})
+	pair := bt.Pair(a, b, 8)
+	group := bt.Group([]workloads.Workload{a, b, c}, 8)
+	if err := bt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	for _, h := range norms {
+		v, err := h.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	v, err := co.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, v)
+	pr, err := pair.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, pr.TimeA, pr.TimeB, pr.NormalizedA, pr.NormalizedB)
+	outs, err := group.Outcomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		out = append(out, o.Time, o.Solo, o.Normalized)
+	}
+	return out
+}
+
+func assertSame(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] { // bit-identical, not approximately equal
+			t.Errorf("%s: value %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchMatchesSerialPrivate: on the private cluster a Batch must return
+// byte-identical values to the serial methods, at any worker count.
+func TestBatchMatchesSerialPrivate(t *testing.T) {
+	want := runSerial(t, newBatchEnv(t, 1, false))
+	for _, workers := range []int{1, 4, 8} {
+		got := runBatched(t, newBatchEnv(t, workers, false))
+		assertSame(t, "private", got, want)
+	}
+}
+
+// TestBatchMatchesSerialBackground: with uncontrolled background tenants
+// the results depend on the pre-assigned nonces, so this is the real
+// determinism proof: serial, workers=1 and workers=8 all byte-identical.
+func TestBatchMatchesSerialBackground(t *testing.T) {
+	want := runSerial(t, newBatchEnv(t, 1, true))
+	for _, workers := range []int{1, 8} {
+		got := runBatched(t, newBatchEnv(t, workers, true))
+		assertSame(t, "background", got, want)
+	}
+}
+
+// TestBatchConcurrentEnvUse hammers one shared Env from many goroutines,
+// each running its own Batch of the full suite; under -race this exercises
+// the Env/Cache/solo-cache locking, and on the nonce-insensitive private
+// cluster every goroutine must still see the reference values.
+func TestBatchConcurrentEnvUse(t *testing.T) {
+	want := runSerial(t, newBatchEnv(t, 1, false))
+	shared := newBatchEnv(t, 4, false)
+	const goroutines = 8
+	results := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = runBatched(t, shared)
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		assertSame(t, "goroutine", got, want)
+		_ = g
+	}
+}
+
+// TestCacheFileRoundTrip: a cache persisted to disk and loaded into a
+// fresh env with the same fingerprint must satisfy the whole suite without
+// a single new measurement, with byte-identical values.
+func TestCacheFileRoundTrip(t *testing.T) {
+	e1 := newBatchEnv(t, 2, false)
+	want := runBatched(t, e1)
+	path := filepath.Join(t.TempDir(), "measure-cache.json")
+	if err := e1.Cache.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newBatchEnv(t, 2, false)
+	if err := e2.Cache.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got := runBatched(t, e2)
+	assertSame(t, "reloaded", got, want)
+	if m := e2.Cache.Misses(); m != 0 {
+		t.Errorf("reloaded cache took %d misses, want 0", m)
+	}
+	if e2.Cache.Hits() == 0 {
+		t.Error("reloaded cache recorded no hits")
+	}
+
+	// Loading a missing file is a silent no-op, not an error.
+	e3 := newBatchEnv(t, 1, false)
+	if err := e3.Cache.LoadFile(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchPlanErrorPoisons: an invalid submission fails its own handle and
+// every later one, exactly like a serial loop that stops at the first
+// error; already-planned work still completes.
+func TestBatchPlanErrorPoisons(t *testing.T) {
+	e := newBatchEnv(t, 2, false)
+	a, _, _, grids := batchSuite(t)
+	b := e.NewBatch()
+	ok := b.Normalized(a, grids[0])
+	bad := b.Normalized(a, make([]float64, 99)) // more nodes than hosts
+	poisoned := b.Normalized(a, grids[1])
+	err := b.Run()
+	if err == nil {
+		t.Fatal("Run should surface the plan error")
+	}
+	if _, okErr := ok.Result(); okErr != nil {
+		t.Errorf("pre-error handle failed: %v", okErr)
+	}
+	if _, badErr := bad.Result(); badErr == nil {
+		t.Error("invalid submission should fail its handle")
+	}
+	if _, poisonErr := poisoned.Result(); poisonErr == nil {
+		t.Error("submissions after a plan error should be poisoned")
+	}
+}
+
+// TestBatchHandleLifecycle: results are unavailable before Run, and a batch
+// can only run once.
+func TestBatchHandleLifecycle(t *testing.T) {
+	e := newBatchEnv(t, 1, false)
+	a, _, _, grids := batchSuite(t)
+	b := e.NewBatch()
+	h := b.Normalized(a, grids[0])
+	if _, err := h.Result(); err == nil || !strings.Contains(err.Error(), "not run") {
+		t.Errorf("Result before Run = %v, want 'not run' error", err)
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+// TestBatchAliasesDuplicates: two submissions with identical content must
+// produce one measurement; the duplicate is served by the cache/alias path
+// and counts as a hit.
+func TestBatchAliasesDuplicates(t *testing.T) {
+	e := newBatchEnv(t, 2, false)
+	a, _, _, grids := batchSuite(t)
+	ps := grids[1]
+	b := e.NewBatch()
+	h1 := b.Bubbles(a, ps)
+	h2 := b.Bubbles(a, ps)
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	v1, err1 := h1.Result()
+	v2, err2 := h2.Result()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if v1 != v2 {
+		t.Errorf("aliased duplicate diverged: %v vs %v", v1, v2)
+	}
+	if e.Cache.Hits() == 0 {
+		t.Error("duplicate submission did not count as a cache hit")
+	}
+}

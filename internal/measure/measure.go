@@ -10,6 +10,11 @@ package measure
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/app"
@@ -35,6 +40,16 @@ type BackgroundFunc func(host int, r *sim.RNG) []contention.Occupant
 
 // Env is a measurement environment: a cluster, a seed, and measurement
 // policy. Construct with NewEnv; the zero value is not usable.
+//
+// Concurrency contract: all exported methods are safe for concurrent use —
+// the solo cache, the nonce counter, and the shared contention-solve memo
+// are mutex-guarded, and Telemetry/Tracer/FailureHook/HostDegrade are only
+// ever handed thread-safe implementations by this repository. Note however
+// that concurrent *callers* racing on nextNonce get nondeterministic nonce
+// assignment; deterministic parallelism is what Batch provides (nonces are
+// pre-assigned during single-threaded planning, only the nonce-bearing
+// bodies fan out). Configuration fields must not be mutated once
+// measurements have started.
 type Env struct {
 	Cluster   cluster.Cluster
 	Seed      int64
@@ -57,11 +72,38 @@ type Env struct {
 	// Background, it affects every measurement touching the host, solo
 	// baselines included.
 	HostDegrade func(host int) float64
+	// Workers bounds the worker pool a Batch fans out over; <= 0 means
+	// GOMAXPROCS. Workers == 1 executes batch jobs serially on the
+	// calling goroutine (the proven-identical reference path).
+	Workers int
+	// Cache, when non-nil, memoizes whole measurements content-addressed
+	// by (environment fingerprint, measurement kind, workload, pressure
+	// vector / co-runner set, nodes) — see docs/PERFORMANCE.md for the
+	// key scheme. It may be shared by several environments and persisted
+	// to disk between runs. Caching is disabled while HostDegrade is set:
+	// fault-injected degradation makes measurements time-varying.
+	Cache *Cache
 
 	mu        sync.Mutex
 	soloCache map[string]float64
 	nonce     int
+
+	fpOnce sync.Once
+	fp     string
+
+	// solveCache memoizes contention.Solve equilibria for background-free
+	// hosts, keyed by the ordered occupant content. Solve is a pure
+	// function of (HostSpec, occupants), so a hit returns bitwise the
+	// value a fresh solve would; within one background-free measurement
+	// every repetition re-solves identical hosts, which this collapses.
+	solveMu    sync.Mutex
+	solveCache map[string][]float64
 }
+
+// solveCacheCap bounds the per-env solve memo; EC2-style background
+// tenants have continuous-valued profiles whose keys rarely repeat, and
+// the cap keeps them from growing the map without bound.
+const solveCacheCap = 4096
 
 // Metric names recorded by an instrumented Env. The actual-normalized
 // gauge carries an app label.
@@ -69,6 +111,12 @@ const (
 	MetricMeasureRuns      = "measure_runs_total"
 	MetricPlacementRuns    = "measure_placement_runs_total"
 	MetricActualNormalized = "app_actual_normalized"
+	// Content-cache and batch-engine metrics.
+	MetricCacheHits    = "measure_cache_hits_total"
+	MetricCacheMisses  = "measure_cache_misses_total"
+	MetricBatchRuns    = "measure_batch_runs_total"
+	MetricBatchJobs    = "measure_batch_jobs_total"
+	MetricBatchWorkers = "measure_batch_workers"
 )
 
 // count bumps a counter if the environment is instrumented.
@@ -115,12 +163,120 @@ func NewEnv(c cluster.Cluster, seed int64) (*Env, error) {
 		return nil, fmt.Errorf("measure: default unit does not fit the host: %w", err)
 	}
 	return &Env{
-		Cluster:   c,
-		Seed:      seed,
-		Reps:      3,
-		UnitCores: unit.Cores(),
-		soloCache: map[string]float64{},
+		Cluster:    c,
+		Seed:       seed,
+		Reps:       3,
+		UnitCores:  unit.Cores(),
+		soloCache:  map[string]float64{},
+		solveCache: map[string][]float64{},
 	}, nil
+}
+
+// workerCount resolves the effective batch worker-pool size.
+func (e *Env) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fingerprint identifies everything a measurement's outcome depends on
+// besides the request itself; it prefixes every content-cache key so one
+// Cache can safely serve several environments (and survive on disk).
+// Background interference is fingerprinted by presence only: entries made
+// under background interference are keyed to the first nonce that computed
+// them (see docs/PERFORMANCE.md). Computed lazily so NewEnv callers can
+// finish configuring Reps/UnitCores/Background first.
+func (e *Env) fingerprint() string {
+	e.fpOnce.Do(func() {
+		e.fp = fmt.Sprintf("v1|seed=%d|reps=%d|unit=%d|cluster=%+v|bg=%t",
+			e.Seed, e.Reps, e.UnitCores, e.Cluster, e.Background != nil)
+	})
+	return e.fp
+}
+
+// cacheEnabled reports whether content-addressed measurement caching is in
+// effect.
+func (e *Env) cacheEnabled() bool { return e.Cache != nil && e.HostDegrade == nil }
+
+// cacheGet looks up a measurement by key, maintaining the hit/miss
+// counters. An empty key (caching disabled) is a silent miss.
+func (e *Env) cacheGet(key string) ([]float64, bool) {
+	if key == "" {
+		return nil, false
+	}
+	v, ok := e.Cache.get(key)
+	if ok {
+		e.count(MetricCacheHits)
+	} else {
+		e.count(MetricCacheMisses)
+	}
+	return v, ok
+}
+
+// cachePut stores a completed measurement under key (no-op when empty).
+func (e *Env) cachePut(key string, v []float64) {
+	if key != "" {
+		e.Cache.put(key, v)
+	}
+}
+
+// hexFloats appends the exact hex representation of each float to the key
+// builder — bit-precise, so distinct pressure vectors can never collide.
+func hexFloats(b *strings.Builder, vs []float64) {
+	for _, v := range vs {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+	}
+}
+
+// bubblesCacheKey is the content address of a RunWithBubbles measurement,
+// or "" when caching is disabled.
+func (e *Env) bubblesCacheKey(w workloads.Workload, pressures []float64) string {
+	if !e.cacheEnabled() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(e.fingerprint())
+	fmt.Fprintf(&b, "|bubbles|%+v|n=%d", w, len(pressures))
+	hexFloats(&b, pressures)
+	return b.String()
+}
+
+// coRunnerCacheKey is the content address of a RunWithCoRunner
+// measurement; the co-runner node set is canonicalized to sorted order.
+func (e *Env) coRunnerCacheKey(w, co workloads.Workload, nodes int, coSet map[int]bool) string {
+	if !e.cacheEnabled() {
+		return ""
+	}
+	coNodes := make([]int, 0, len(coSet))
+	for c := range coSet {
+		coNodes = append(coNodes, c)
+	}
+	sortInts(coNodes)
+	var b strings.Builder
+	b.WriteString(e.fingerprint())
+	fmt.Fprintf(&b, "|corunner|%+v|co=%+v|n=%d|at=%v", w, co, nodes, coNodes)
+	return b.String()
+}
+
+// groupCacheKey is the content address of a RunGroup measurement (the
+// per-app mean-time vector; solo baselines are cached separately).
+func (e *Env) groupCacheKey(apps []workloads.Workload, nodes int) string {
+	if !e.cacheEnabled() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(e.fingerprint())
+	fmt.Fprintf(&b, "|group|n=%d", nodes)
+	for _, a := range apps {
+		fmt.Fprintf(&b, "|%+v", a)
+	}
+	return b.String()
+}
+
+func sortInts(v []int) {
+	sort.Ints(v)
 }
 
 func (e *Env) net() netsim.Network {
@@ -132,12 +288,68 @@ func (e *Env) rng() *sim.RNG { return sim.NewRNG(e.Seed) }
 // slowdownOn solves one host's contention equilibrium and returns the
 // slowdown of the occupant at index 0 (the measured application).
 func (e *Env) slowdownOn(host int, occ []contention.Occupant, rep, nonce int) (float64, error) {
-	occ = append(occ, e.backgroundFor(host, rep, nonce)...)
-	res, err := contention.Solve(e.Cluster.HostSpec, occ)
+	sl, err := e.solveHost(occ, host, rep, nonce)
 	if err != nil {
 		return 0, fmt.Errorf("measure: host %d: %w", host, err)
 	}
-	return res.Slowdown[0] * e.degrade(host), nil
+	return sl[0] * e.degrade(host), nil
+}
+
+// solveHost returns the slowdown vector for the host's occupants plus any
+// background interference. Background-free solves go through the shared
+// memo; the returned slice may be shared and must not be mutated.
+func (e *Env) solveHost(occ []contention.Occupant, host, rep, nonce int) ([]float64, error) {
+	bg := e.backgroundFor(host, rep, nonce)
+	if len(bg) == 0 {
+		return e.solveShared(occ)
+	}
+	res, err := contention.Solve(e.Cluster.HostSpec, append(occ, bg...))
+	if err != nil {
+		return nil, err
+	}
+	return res.Slowdown, nil
+}
+
+// occupantsKey serializes an ordered occupant list bit-exactly. Names are
+// excluded: the equilibrium depends only on profiles and core counts.
+func occupantsKey(occ []contention.Occupant) string {
+	var b strings.Builder
+	b.Grow(len(occ) * 96)
+	for _, o := range occ {
+		p := o.Prof
+		fmt.Fprintf(&b, "|%d", o.Cores)
+		for _, f := range [...]float64{p.CPICore, p.APKI, p.WSSMB, p.MRMin, p.MRMax, p.Gamma, p.MLP, p.CPUFluct} {
+			fmt.Fprintf(&b, ",%x", math.Float64bits(f))
+		}
+		if p.BlockedIO {
+			b.WriteString(",io")
+		}
+	}
+	return b.String()
+}
+
+// solveShared is a memoized contention.Solve over the env's host spec.
+// Racing workers may compute the same key concurrently; both produce the
+// identical (pure-function) value, so whichever lands in the memo first is
+// indistinguishable from the other.
+func (e *Env) solveShared(occ []contention.Occupant) ([]float64, error) {
+	key := occupantsKey(occ)
+	e.solveMu.Lock()
+	sl, ok := e.solveCache[key]
+	e.solveMu.Unlock()
+	if ok {
+		return sl, nil
+	}
+	res, err := contention.Solve(e.Cluster.HostSpec, occ)
+	if err != nil {
+		return nil, err
+	}
+	e.solveMu.Lock()
+	if len(e.solveCache) < solveCacheCap {
+		e.solveCache[key] = res.Slowdown
+	}
+	e.solveMu.Unlock()
+	return res.Slowdown, nil
 }
 
 // degrade returns the host's fault-injected slowdown factor (1 when
@@ -170,23 +382,25 @@ func (e *Env) runOnce(w workloads.Workload, sd []float64, rep int) (float64, err
 	})
 }
 
-// RunWithBubbles runs w across len(pressures) nodes with a bubble at
-// pressures[i] co-located on node i (0 disables that node's bubble) and
-// returns the mean execution time over the environment's repetitions.
-func (e *Env) RunWithBubbles(w workloads.Workload, pressures []float64) (float64, error) {
+// checkBubbles validates a bubble-measurement request.
+func (e *Env) checkBubbles(pressures []float64) error {
 	nodes := len(pressures)
 	if nodes == 0 {
-		return 0, errors.New("measure: empty pressure vector")
+		return errors.New("measure: empty pressure vector")
 	}
 	if nodes > e.Cluster.NumHosts {
-		return 0, fmt.Errorf("measure: %d nodes on a %d-host cluster", nodes, e.Cluster.NumHosts)
+		return fmt.Errorf("measure: %d nodes on a %d-host cluster", nodes, e.Cluster.NumHosts)
 	}
-	if err := e.failure("bubbles/" + w.Name); err != nil {
-		return 0, err
-	}
-	e.count(MetricMeasureRuns)
+	return nil
+}
+
+// bubblesBody is the measurement itself — everything after validation,
+// failure injection, accounting, and nonce assignment. It is a pure
+// function of (env configuration, w, pressures, nonce) and therefore safe
+// to run on a batch worker.
+func (e *Env) bubblesBody(w workloads.Workload, pressures []float64, nonce int) (float64, error) {
+	nodes := len(pressures)
 	span := e.Tracer.StartSpan("measure.bubbles/" + w.Name)
-	nonce := e.nextNonce()
 	times := make([]float64, 0, e.Reps)
 	for rep := 0; rep < e.Reps; rep++ {
 		sd := make([]float64, nodes)
@@ -209,6 +423,30 @@ func (e *Env) RunWithBubbles(w workloads.Workload, pressures []float64) (float64
 	}
 	mean := stats.Mean(times)
 	span.SetSimSeconds(mean).End()
+	return mean, nil
+}
+
+// RunWithBubbles runs w across len(pressures) nodes with a bubble at
+// pressures[i] co-located on node i (0 disables that node's bubble) and
+// returns the mean execution time over the environment's repetitions.
+func (e *Env) RunWithBubbles(w workloads.Workload, pressures []float64) (float64, error) {
+	if err := e.checkBubbles(pressures); err != nil {
+		return 0, err
+	}
+	if err := e.failure("bubbles/" + w.Name); err != nil {
+		return 0, err
+	}
+	e.count(MetricMeasureRuns)
+	nonce := e.nextNonce()
+	key := e.bubblesCacheKey(w, pressures)
+	if v, ok := e.cacheGet(key); ok {
+		return v[0], nil
+	}
+	mean, err := e.bubblesBody(w, pressures, nonce)
+	if err != nil {
+		return 0, err
+	}
+	e.cachePut(key, []float64{mean})
 	return mean, nil
 }
 
@@ -267,20 +505,44 @@ func HomogeneousPressures(nodes, interfering int, pressure float64) ([]float64, 
 // The co-runner's units use its slave-generation profile (its master, if
 // any, is assumed to live elsewhere).
 func (e *Env) RunWithCoRunner(w, co workloads.Workload, nodes int, coNodes []int) (float64, error) {
-	if nodes <= 0 || nodes > e.Cluster.NumHosts {
-		return 0, fmt.Errorf("measure: bad node count %d", nodes)
-	}
-	coSet := map[int]bool{}
-	for _, c := range coNodes {
-		if c < 0 || c >= nodes {
-			return 0, fmt.Errorf("measure: co-runner node %d out of range", c)
-		}
-		coSet[c] = true
+	coSet, err := e.checkCoRunner(nodes, coNodes)
+	if err != nil {
+		return 0, err
 	}
 	if err := e.failure("co-runner/" + w.Name); err != nil {
 		return 0, err
 	}
 	nonce := e.nextNonce()
+	key := e.coRunnerCacheKey(w, co, nodes, coSet)
+	if v, ok := e.cacheGet(key); ok {
+		return v[0], nil
+	}
+	mean, err := e.coRunnerBody(w, co, nodes, coSet, nonce)
+	if err != nil {
+		return 0, err
+	}
+	e.cachePut(key, []float64{mean})
+	return mean, nil
+}
+
+// checkCoRunner validates a co-runner request and canonicalizes the node
+// list into a set.
+func (e *Env) checkCoRunner(nodes int, coNodes []int) (map[int]bool, error) {
+	if nodes <= 0 || nodes > e.Cluster.NumHosts {
+		return nil, fmt.Errorf("measure: bad node count %d", nodes)
+	}
+	coSet := map[int]bool{}
+	for _, c := range coNodes {
+		if c < 0 || c >= nodes {
+			return nil, fmt.Errorf("measure: co-runner node %d out of range", c)
+		}
+		coSet[c] = true
+	}
+	return coSet, nil
+}
+
+// coRunnerBody is the worker-safe measurement body of RunWithCoRunner.
+func (e *Env) coRunnerBody(w, co workloads.Workload, nodes int, coSet map[int]bool, nonce int) (float64, error) {
 	times := make([]float64, 0, e.Reps)
 	for rep := 0; rep < e.Reps; rep++ {
 		sd := make([]float64, nodes)
@@ -329,21 +591,46 @@ func (e *Env) RunPair(a, b workloads.Workload, nodes int) (PairResult, error) {
 // two exercise the multi-way co-location extension (Section 4.4); the
 // host must have enough cores for len(apps) units.
 func (e *Env) RunGroup(apps []workloads.Workload, nodes int) ([]AppOutcome, error) {
-	if len(apps) == 0 {
-		return nil, errors.New("measure: empty application group")
-	}
-	if nodes <= 0 || nodes > e.Cluster.NumHosts {
-		return nil, fmt.Errorf("measure: bad node count %d", nodes)
-	}
-	if len(apps)*e.UnitCores > e.Cluster.HostSpec.Cores {
-		return nil, fmt.Errorf("measure: %d units of %d cores exceed host cores", len(apps), e.UnitCores)
+	if err := e.checkGroup(apps, nodes); err != nil {
+		return nil, err
 	}
 	if err := e.failure("group"); err != nil {
 		return nil, err
 	}
 	e.count(MetricMeasureRuns)
-	defer e.Tracer.StartSpan("measure.group").End()
 	nonce := e.nextNonce()
+	key := e.groupCacheKey(apps, nodes)
+	means, ok := e.cacheGet(key)
+	if !ok {
+		var err error
+		means, err = e.groupBody(apps, nodes, nonce)
+		if err != nil {
+			return nil, err
+		}
+		e.cachePut(key, means)
+	}
+	return e.groupOutcomes(apps, nodes, means)
+}
+
+// checkGroup validates a group co-run request.
+func (e *Env) checkGroup(apps []workloads.Workload, nodes int) error {
+	if len(apps) == 0 {
+		return errors.New("measure: empty application group")
+	}
+	if nodes <= 0 || nodes > e.Cluster.NumHosts {
+		return fmt.Errorf("measure: bad node count %d", nodes)
+	}
+	if len(apps)*e.UnitCores > e.Cluster.HostSpec.Cores {
+		return fmt.Errorf("measure: %d units of %d cores exceed host cores", len(apps), e.UnitCores)
+	}
+	return nil
+}
+
+// groupBody is the worker-safe measurement body of RunGroup: the per-app
+// mean execution times, without the solo baselines (those are planned and
+// cached separately).
+func (e *Env) groupBody(apps []workloads.Workload, nodes, nonce int) ([]float64, error) {
+	defer e.Tracer.StartSpan("measure.group").End()
 	sums := make([]float64, len(apps))
 	for rep := 0; rep < e.Reps; rep++ {
 		sd := make([][]float64, len(apps))
@@ -357,14 +644,13 @@ func (e *Env) RunGroup(apps []workloads.Workload, nodes int) ([]AppOutcome, erro
 					Name: a.Name, Prof: a.GenProfile(i), Cores: e.UnitCores,
 				})
 			}
-			occ = append(occ, e.backgroundFor(i, rep, nonce)...)
-			res, err := contention.Solve(e.Cluster.HostSpec, occ)
+			sl, err := e.solveHost(occ, i, rep, nonce)
 			if err != nil {
 				return nil, err
 			}
 			f := e.degrade(i)
 			for j := range apps {
-				sd[j][i] = res.Slowdown[j] * f
+				sd[j][i] = sl[j] * f
 			}
 		}
 		for j, a := range apps {
@@ -375,14 +661,22 @@ func (e *Env) RunGroup(apps []workloads.Workload, nodes int) ([]AppOutcome, erro
 			sums[j] += t
 		}
 	}
+	means := make([]float64, len(apps))
+	for j := range sums {
+		means[j] = sums[j] / float64(e.Reps)
+	}
+	return means, nil
+}
+
+// groupOutcomes combines group mean times with the per-app solo baselines.
+func (e *Env) groupOutcomes(apps []workloads.Workload, nodes int, means []float64) ([]AppOutcome, error) {
 	outs := make([]AppOutcome, len(apps))
 	for j, a := range apps {
 		solo, err := e.Solo(a, nodes)
 		if err != nil {
 			return nil, err
 		}
-		mean := sums[j] / float64(e.Reps)
-		outs[j] = AppOutcome{Time: mean, Solo: solo, Normalized: mean / solo, Nodes: nodes}
+		outs[j] = AppOutcome{Time: means[j], Solo: solo, Normalized: means[j] / solo, Nodes: nodes}
 	}
 	return outs, nil
 }
@@ -463,14 +757,13 @@ func (e *Env) RunPlacement(p *cluster.Placement, reg map[string]workloads.Worklo
 			if len(occ) == 0 {
 				continue
 			}
-			occ = append(occ, e.backgroundFor(h, rep, nonce)...)
-			res, err := contention.Solve(e.Cluster.HostSpec, occ)
+			sl, err := e.solveHost(occ, h, rep, nonce)
 			if err != nil {
 				return nil, fmt.Errorf("measure: host %d: %w", h, err)
 			}
 			f := e.degrade(h)
 			for i, up := range occPos {
-				slotSlowdown[up] = res.Slowdown[i] * f
+				slotSlowdown[up] = sl[i] * f
 			}
 		}
 		for _, a := range apps {

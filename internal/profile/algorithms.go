@@ -14,6 +14,36 @@ import (
 // It is the expensive operation every algorithm here tries to minimize.
 type Measurer func(pressure float64, interfering int) (float64, error)
 
+// Setting is one profiling request: a bubble pressure level and the number
+// of interfering nodes carrying it.
+type Setting struct {
+	Pressure    float64
+	Interfering int
+}
+
+// BatchMeasurer performs several profiling runs whose settings are known
+// up front and returns one value per setting, in order. Implementations
+// may run the settings concurrently (measure.Batch does), but the returned
+// values must equal what measuring each setting in slice order would give.
+type BatchMeasurer func([]Setting) ([]float64, error)
+
+// SerialBatch adapts a single-run Measurer into a BatchMeasurer that runs
+// the settings one by one in order — the reference execution the parallel
+// implementations are tested against.
+func SerialBatch(m Measurer) BatchMeasurer {
+	return func(settings []Setting) ([]float64, error) {
+		out := make([]float64, len(settings))
+		for i, s := range settings {
+			v, err := m(s.Pressure, s.Interfering)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+}
+
 // Result is the outcome of a profiling algorithm.
 type Result struct {
 	Matrix   *Matrix
@@ -33,17 +63,60 @@ func (r Result) CostPct() float64 {
 	return 100 * float64(r.Measured) / float64(r.Total)
 }
 
-// counter wraps a Measurer and counts distinct (pressure,nodes) calls;
-// repeated calls for the same setting are served from cache (a real
-// deployment would reuse the measurement too).
+// counter wraps a BatchMeasurer and counts distinct (pressure,nodes)
+// calls; repeated requests for the same setting are served from cache (a
+// real deployment would reuse the measurement too).
 type counter struct {
-	m     Measurer
+	bm    BatchMeasurer
 	cache map[[2]int]float64
 	calls int
 }
 
-func newCounter(m Measurer) *counter {
-	return &counter{m: m, cache: map[[2]int]float64{}}
+func newCounter(bm BatchMeasurer) *counter {
+	return &counter{bm: bm, cache: map[[2]int]float64{}}
+}
+
+// measureAll fetches the given (pressureRow, nodes) cells, deduplicating
+// against the cache and within the request, issuing one batch call in
+// first-appearance order.
+func (c *counter) measureAll(cells [][2]int) error {
+	need := make([][2]int, 0, len(cells))
+outer:
+	for _, k := range cells {
+		if _, ok := c.cache[k]; ok {
+			continue
+		}
+		// Rounds are small (at most a couple of cells per open span), so a
+		// linear scan dedupes within the request without allocating.
+		for _, n := range need {
+			if n == k {
+				continue outer
+			}
+		}
+		need = append(need, k)
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	settings := make([]Setting, len(need))
+	for i, k := range need {
+		settings[i] = Setting{Pressure: float64(k[0] + 1), Interfering: k[1]}
+	}
+	vals, err := c.bm(settings)
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(settings) {
+		return fmt.Errorf("profile: batch measurer returned %d values for %d settings", len(vals), len(settings))
+	}
+	for i, v := range vals {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("profile: measurer returned invalid time %v", v)
+		}
+		c.cache[need[i]] = v
+		c.calls++
+	}
+	return nil
 }
 
 func (c *counter) measure(pressureRow, nodes int) (float64, error) {
@@ -51,16 +124,10 @@ func (c *counter) measure(pressureRow, nodes int) (float64, error) {
 	if v, ok := c.cache[key]; ok {
 		return v, nil
 	}
-	v, err := c.m(float64(pressureRow+1), nodes)
-	if err != nil {
+	if err := c.measureAll([][2]int{key}); err != nil {
 		return 0, err
 	}
-	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-		return 0, fmt.Errorf("profile: measurer returned invalid time %v", v)
-	}
-	c.cache[key] = v
-	c.calls++
-	return v, nil
+	return c.cache[key], nil
 }
 
 // defaultEps is the indistinguishability threshold of the binary search:
@@ -71,71 +138,121 @@ const defaultEps = 0.06
 // FullBrute measures every setting; it is the ground truth the paper's
 // accuracy percentages are computed against.
 func FullBrute(m Measurer, pressures, nodes int) (Result, error) {
+	return FullBruteBatch(SerialBatch(m), pressures, nodes)
+}
+
+// FullBruteBatch is FullBrute over a batch measurer: every setting is
+// submitted as one batch in row-major order.
+func FullBruteBatch(bm BatchMeasurer, pressures, nodes int) (Result, error) {
 	mat, err := NewMatrix(pressures, nodes)
 	if err != nil {
 		return Result{}, err
 	}
-	c := newCounter(m)
+	c := newCounter(bm)
+	cells := make([][2]int, 0, pressures*nodes)
 	for i := 0; i < pressures; i++ {
 		for j := 1; j <= nodes; j++ {
-			v, err := c.measure(i, j)
-			if err != nil {
-				return Result{}, err
-			}
-			if err := mat.Set(i, j, v); err != nil {
-				return Result{}, err
-			}
+			cells = append(cells, [2]int{i, j})
+		}
+	}
+	if err := c.measureAll(cells); err != nil {
+		return Result{}, err
+	}
+	for _, k := range cells {
+		if err := mat.Set(k[0], k[1], c.cache[k]); err != nil {
+			return Result{}, err
 		}
 	}
 	return Result{Matrix: mat, Measured: c.calls, Total: pressures * nodes, Provenance: mat.ProvenanceCounts()}, nil
 }
 
-// binaryRow recursively fills row i between columns lo and hi: when the
-// endpoint values are close (<= eps), the interior is left for
-// interpolation; otherwise the midpoint is measured and both halves
-// recurse (the paper's profile_binary_row).
-func binaryRow(c *counter, mat *Matrix, i, lo, hi int, eps float64) error {
-	if hi-lo <= 1 {
-		return nil
+// span is one open interval of the binary search: the cells strictly
+// between lo and hi on the given row (or column) are still undecided.
+type span struct{ row, lo, hi int }
+
+// binaryRowsBatch is the paper's profile_binary_row run over any number of
+// rows at once, level-synchronously: every round batches the midpoints of
+// all intervals whose endpoint values differ by more than eps, then splits
+// those intervals. Each interval's split decision depends only on its own
+// endpoint values, so the *set* of measured cells is exactly what the
+// depth-first recursion would measure — only the measurement order
+// differs, which lets one batch carry a whole search level.
+func binaryRowsBatch(c *counter, mat *Matrix, rows []int, nodes int, eps float64) error {
+	spans := make([]span, 0, len(rows))
+	for _, i := range rows {
+		spans = append(spans, span{i, 0, nodes})
 	}
-	if math.Abs(mat.Cell(i, hi)-mat.Cell(i, lo)) <= eps {
-		return nil
+	for len(spans) > 0 {
+		var split []span
+		var cells [][2]int
+		for _, s := range spans {
+			if s.hi-s.lo <= 1 {
+				continue
+			}
+			if math.Abs(mat.Cell(s.row, s.hi)-mat.Cell(s.row, s.lo)) <= eps {
+				continue
+			}
+			mid := (s.lo + s.hi) / 2
+			cells = append(cells, [2]int{s.row, mid})
+			split = append(split, s)
+		}
+		if len(split) == 0 {
+			return nil
+		}
+		if err := c.measureAll(cells); err != nil {
+			return err
+		}
+		next := make([]span, 0, 2*len(split))
+		for _, s := range split {
+			mid := (s.lo + s.hi) / 2
+			if err := mat.Set(s.row, mid, c.cache[[2]int{s.row, mid}]); err != nil {
+				return err
+			}
+			next = append(next, span{s.row, s.lo, mid}, span{s.row, mid, s.hi})
+		}
+		spans = next
 	}
-	mid := (lo + hi) / 2
-	v, err := c.measure(i, mid)
-	if err != nil {
-		return err
-	}
-	if err := mat.Set(i, mid, v); err != nil {
-		return err
-	}
-	if err := binaryRow(c, mat, i, lo, mid, eps); err != nil {
-		return err
-	}
-	return binaryRow(c, mat, i, mid, hi, eps)
+	return nil
 }
 
-// binaryCol is binaryRow transposed: it fills column j between pressure
-// rows lo and hi (the paper's profile_binary_col).
-func binaryCol(c *counter, mat *Matrix, j, lo, hi int, eps float64) error {
-	if hi-lo <= 1 {
-		return nil
+// binaryColsBatch is binaryRowsBatch transposed: span.row holds the column
+// index and the interval runs over pressure rows.
+func binaryColsBatch(c *counter, mat *Matrix, cols []int, loRow, hiRow int, eps float64) error {
+	spans := make([]span, 0, len(cols))
+	for _, j := range cols {
+		spans = append(spans, span{j, loRow, hiRow})
 	}
-	if math.Abs(mat.Cell(hi, j)-mat.Cell(lo, j)) <= eps {
-		return nil
+	for len(spans) > 0 {
+		var split []span
+		var cells [][2]int
+		for _, s := range spans {
+			if s.hi-s.lo <= 1 {
+				continue
+			}
+			if math.Abs(mat.Cell(s.hi, s.row)-mat.Cell(s.lo, s.row)) <= eps {
+				continue
+			}
+			mid := (s.lo + s.hi) / 2
+			cells = append(cells, [2]int{mid, s.row})
+			split = append(split, s)
+		}
+		if len(split) == 0 {
+			return nil
+		}
+		if err := c.measureAll(cells); err != nil {
+			return err
+		}
+		next := make([]span, 0, 2*len(split))
+		for _, s := range split {
+			mid := (s.lo + s.hi) / 2
+			if err := mat.Set(mid, s.row, c.cache[[2]int{mid, s.row}]); err != nil {
+				return err
+			}
+			next = append(next, span{s.row, s.lo, mid}, span{s.row, mid, s.hi})
+		}
+		spans = next
 	}
-	mid := (lo + hi) / 2
-	v, err := c.measure(mid, j)
-	if err != nil {
-		return err
-	}
-	if err := mat.Set(mid, j, v); err != nil {
-		return err
-	}
-	if err := binaryCol(c, mat, j, lo, mid, eps); err != nil {
-		return err
-	}
-	return binaryCol(c, mat, j, mid, hi, eps)
+	return nil
 }
 
 // interpolateRow linearly fills the unmeasured cells of row i, marking
@@ -182,6 +299,12 @@ func interpolateCol(mat *Matrix, j int) error {
 // the row ends and refine by binary search, interpolating whatever the
 // search deems flat.
 func BinaryBrute(m Measurer, pressures, nodes int, eps float64) (Result, error) {
+	return BinaryBruteBatch(SerialBatch(m), pressures, nodes, eps)
+}
+
+// BinaryBruteBatch is BinaryBrute over a batch measurer: one batch for the
+// per-row anchors, then all rows' binary searches advance level by level.
+func BinaryBruteBatch(bm BatchMeasurer, pressures, nodes int, eps float64) (Result, error) {
 	if eps <= 0 {
 		eps = defaultEps
 	}
@@ -189,18 +312,25 @@ func BinaryBrute(m Measurer, pressures, nodes int, eps float64) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	c := newCounter(m)
+	c := newCounter(bm)
+	anchors := make([][2]int, 0, pressures)
+	rows := make([]int, 0, pressures)
 	for i := 0; i < pressures; i++ {
-		v, err := c.measure(i, nodes)
-		if err != nil {
+		anchors = append(anchors, [2]int{i, nodes})
+		rows = append(rows, i)
+	}
+	if err := c.measureAll(anchors); err != nil {
+		return Result{}, err
+	}
+	for _, k := range anchors {
+		if err := mat.Set(k[0], k[1], c.cache[k]); err != nil {
 			return Result{}, err
 		}
-		if err := mat.Set(i, nodes, v); err != nil {
-			return Result{}, err
-		}
-		if err := binaryRow(c, mat, i, 0, nodes, eps); err != nil {
-			return Result{}, err
-		}
+	}
+	if err := binaryRowsBatch(c, mat, rows, nodes, eps); err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < pressures; i++ {
 		if err := interpolateRow(mat, i); err != nil {
 			return Result{}, err
 		}
@@ -216,6 +346,11 @@ func BinaryBrute(m Measurer, pressures, nodes int, eps float64) (Result, error) 
 //
 // exploiting that curve *shapes* barely change across pressure levels.
 func BinaryOptimized(m Measurer, pressures, nodes int, eps float64) (Result, error) {
+	return BinaryOptimizedBatch(SerialBatch(m), pressures, nodes, eps)
+}
+
+// BinaryOptimizedBatch is BinaryOptimized over a batch measurer.
+func BinaryOptimizedBatch(bm BatchMeasurer, pressures, nodes int, eps float64) (Result, error) {
 	if eps <= 0 {
 		eps = defaultEps
 	}
@@ -223,27 +358,27 @@ func BinaryOptimized(m Measurer, pressures, nodes int, eps float64) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	c := newCounter(m)
+	c := newCounter(bm)
 	n := pressures
 	// Anchor the two corners of the last column.
-	for _, i := range []int{0, n - 1} {
-		v, err := c.measure(i, nodes)
-		if err != nil {
-			return Result{}, err
-		}
-		if err := mat.Set(i, nodes, v); err != nil {
+	corners := [][2]int{{0, nodes}, {n - 1, nodes}}
+	if err := c.measureAll(corners); err != nil {
+		return Result{}, err
+	}
+	for _, k := range corners {
+		if err := mat.Set(k[0], k[1], c.cache[k]); err != nil {
 			return Result{}, err
 		}
 	}
 	// Top-pressure row by binary search.
-	if err := binaryRow(c, mat, n-1, 0, nodes, eps); err != nil {
+	if err := binaryRowsBatch(c, mat, []int{n - 1}, nodes, eps); err != nil {
 		return Result{}, err
 	}
 	if err := interpolateRow(mat, n-1); err != nil {
 		return Result{}, err
 	}
 	// Max-nodes column by binary search over pressures.
-	if err := binaryCol(c, mat, nodes, 0, n-1, eps); err != nil {
+	if err := binaryColsBatch(c, mat, []int{nodes}, 0, n-1, eps); err != nil {
 		return Result{}, err
 	}
 	if err := interpolateCol(mat, nodes); err != nil {
@@ -279,6 +414,14 @@ func BinaryOptimized(m Measurer, pressures, nodes int, eps float64) (Result, err
 // of all settings — always including, per pressure level, the max-nodes
 // anchor — and interpolate the rest row-wise.
 func RandomFrac(m Measurer, pressures, nodes int, frac float64, rng *sim.RNG) (Result, error) {
+	return RandomFracBatch(SerialBatch(m), pressures, nodes, frac, rng)
+}
+
+// RandomFracBatch is RandomFrac over a batch measurer: the anchors form
+// one batch, then the sampled remainder forms a second. Every sampled cell
+// is distinct, so the budget cutoff can be applied up front and the
+// measured set and order match the serial loop exactly.
+func RandomFracBatch(bm BatchMeasurer, pressures, nodes int, frac float64, rng *sim.RNG) (Result, error) {
 	if frac <= 0 || frac > 1 {
 		return Result{}, errors.New("profile: fraction outside (0,1]")
 	}
@@ -289,14 +432,17 @@ func RandomFrac(m Measurer, pressures, nodes int, frac float64, rng *sim.RNG) (R
 	if err != nil {
 		return Result{}, err
 	}
-	c := newCounter(m)
+	c := newCounter(bm)
 	// Mandatory anchors: full-interference per pressure level.
+	anchors := make([][2]int, 0, pressures)
 	for i := 0; i < pressures; i++ {
-		v, err := c.measure(i, nodes)
-		if err != nil {
-			return Result{}, err
-		}
-		if err := mat.Set(i, nodes, v); err != nil {
+		anchors = append(anchors, [2]int{i, nodes})
+	}
+	if err := c.measureAll(anchors); err != nil {
+		return Result{}, err
+	}
+	for _, k := range anchors {
+		if err := mat.Set(k[0], k[1], c.cache[k]); err != nil {
 			return Result{}, err
 		}
 	}
@@ -305,24 +451,26 @@ func RandomFrac(m Measurer, pressures, nodes int, frac float64, rng *sim.RNG) (R
 	if budget < pressures {
 		budget = pressures // anchors already exceed tiny budgets
 	}
-	type cell struct{ i, j int }
-	var rest []cell
+	var rest [][2]int
 	for i := 0; i < pressures; i++ {
 		for j := 1; j < nodes; j++ {
-			rest = append(rest, cell{i, j})
+			rest = append(rest, [2]int{i, j})
 		}
 	}
 	rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
-	for _, cl := range rest {
-		if c.calls >= budget {
-			break
-		}
-		v, err := c.measure(cl.i, cl.j)
-		if err != nil {
+	take := budget - c.calls
+	if take > len(rest) {
+		take = len(rest)
+	}
+	if take > 0 {
+		sample := rest[:take]
+		if err := c.measureAll(sample); err != nil {
 			return Result{}, err
 		}
-		if err := mat.Set(cl.i, cl.j, v); err != nil {
-			return Result{}, err
+		for _, k := range sample {
+			if err := mat.Set(k[0], k[1], c.cache[k]); err != nil {
+				return Result{}, err
+			}
 		}
 	}
 	for i := 0; i < pressures; i++ {

@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// resetScenario schedules a mix of ordered and tied events plus nested
+// scheduling, runs the engine, and returns the observed firing order and
+// final time. Any two engines in equivalent states must agree on it.
+func resetScenario(t *testing.T, e *Engine) ([]int, Time) {
+	t.Helper()
+	var order []int
+	for i, at := range []Time{4, 1, 4, 2} { // two ties at t=4
+		i := i
+		if err := e.At(at, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.At(3, func() {
+		order = append(order, 100)
+		if err := e.After(2, func() { order = append(order, 101) }); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return order, e.Run()
+}
+
+// TestEngineResetMatchesFresh: a Reset engine must be indistinguishable
+// from a new one — same firing order (including the seq tie-break), same
+// clock, same counters.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	fresh := NewEngine()
+	wantOrder, wantEnd := resetScenario(t, fresh)
+
+	reused := NewEngine()
+	resetScenario(t, reused) // dirty it: now/seq/fired all non-zero
+	reused.Reset(0)
+	if reused.Now() != 0 || reused.Scheduled() != 0 || reused.Fired() != 0 ||
+		reused.Pending() != 0 || reused.QueueHighWater() != 0 {
+		t.Fatalf("Reset left state behind: now=%v seq=%d fired=%d pending=%d hw=%d",
+			reused.Now(), reused.Scheduled(), reused.Fired(), reused.Pending(), reused.QueueHighWater())
+	}
+	gotOrder, gotEnd := resetScenario(t, reused)
+	if gotEnd != wantEnd {
+		t.Errorf("final time = %v, want %v", gotEnd, wantEnd)
+	}
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("order = %v, want %v", gotOrder, wantOrder)
+	}
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("order = %v, want %v", gotOrder, wantOrder)
+		}
+	}
+}
+
+// TestEngineResetSizeHint: Reset pre-sizes the queue to the hint so a
+// pooled engine reused for a similar workload does not regrow its heap.
+func TestEngineResetSizeHint(t *testing.T) {
+	e := NewEngine()
+	e.Reset(4096)
+	if got := cap(e.queue); got < 4096 {
+		t.Errorf("queue capacity after Reset(4096) = %d", got)
+	}
+	// A smaller hint must not shrink an already-large queue.
+	e.Reset(16)
+	if got := cap(e.queue); got < 4096 {
+		t.Errorf("Reset(16) shrank the queue to %d", got)
+	}
+}

@@ -74,6 +74,29 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to its initial state (clock 0, empty queue,
+// zeroed counters, detached telemetry preserved) while keeping the event
+// queue's allocated storage, so one engine can be reused across the
+// thousands of short runs the measurement layer performs. sizeHint, when
+// larger than the current capacity, pre-grows the queue — callers pass a
+// previous run's high-water mark to avoid heap regrowth mid-run. A reset
+// engine behaves exactly like a fresh one: the tie-breaking sequence
+// restarts at zero.
+func (e *Engine) Reset(sizeHint int) {
+	for i := range e.queue {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	if sizeHint > cap(e.queue) {
+		e.queue = make(eventHeap, 0, sizeHint)
+	}
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.halted = false
+	e.highWater = 0
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
