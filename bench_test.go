@@ -30,6 +30,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/contention"
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/measure"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -395,6 +397,28 @@ func mustWorkload(b *testing.B, name string) Workload {
 		b.Fatal(err)
 	}
 	return w
+}
+
+// BenchmarkDriftTrackerObserve measures one drift-tracker ingestion — the
+// per-round, per-app hot path of the interfd observation plane — through a
+// live telemetry registry, exactly as the daemon runs it. The gated number
+// is allocs/op: Observe is required to stay alloc-free.
+func BenchmarkDriftTrackerObserve(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	tr, err := drift.New(drift.DefaultConfig(), reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Register("M.milc", 8, 8, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Observe("M.milc", 3.5, 4.5, 1.2, 1.3, i); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // predictorFunc adapts a closure to core.Predictor.

@@ -14,13 +14,16 @@ go build ./...
 go build -o /dev/null ./cmd/interfd ./cmd/benchdiff
 echo "== go test -race (incl. internal/obs + cmd/interfd handler tests) =="
 go test -race ./...
-echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim/measure/app) =="
-# The parallel placement search, the fault plan, and the measurement batch
-# engine must be pure functions of the seed; run their packages twice
-# uncached so nondeterminism across runs is caught. internal/measure's
-# batch tests hammer one Env from many goroutines under the race detector.
+echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim/measure/app/drift/experiments) =="
+# The parallel placement search, the fault plan, the measurement batch
+# engine, the drift tracker, and the experiment goldens (including the
+# seeded drift scenario) must be pure functions of the seed; run their
+# packages twice uncached so nondeterminism across runs is caught.
+# internal/measure's batch tests hammer one Env from many goroutines under
+# the race detector.
 go test -race -count=2 ./internal/placement ./internal/core ./internal/profile \
-  ./internal/fault ./internal/sim ./internal/measure ./internal/app
+  ./internal/fault ./internal/sim ./internal/measure ./internal/app \
+  ./internal/drift ./internal/experiments
 
 echo "== fuzz smoke (10s per target) =="
 # Short exploratory runs of the committed fuzz targets; the committed
@@ -46,7 +49,14 @@ if go run ./cmd/benchdiff -quiet BENCH_telemetry.json cmd/benchdiff/testdata/ben
   exit 1
 fi
 go run ./cmd/benchdiff -quiet -allow-missing BENCH_telemetry.json cmd/benchdiff/testdata/bench_missing.json >/dev/null
-echo "benchdiff gate: baseline ok, synthetic regression and missing benchmark correctly rejected"
+# The allocs/op gate: a hot path that was alloc-free in the baseline
+# (drift tracker ingestion) must fail the gate the moment it allocates,
+# even with identical timings.
+if go run ./cmd/benchdiff -quiet BENCH_telemetry.json cmd/benchdiff/testdata/bench_allocs_regression.json >/dev/null 2>&1; then
+  echo "ci: benchdiff failed to flag the allocs/op regression fixture" >&2
+  exit 1
+fi
+echo "benchdiff gate: baseline ok; synthetic regression, missing benchmark, and alloc growth correctly rejected"
 
 # With CI_BENCH=1 the gate also reruns the real benchmarks and compares
 # the fresh numbers against the committed baseline (slow; single-shot
@@ -61,7 +71,7 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   # they are the benchmarks this repository optimises, so they may not
   # quietly erode behind the generous whole-suite threshold.
   go run ./cmd/benchdiff -quiet -threshold "${BENCH_HOT_THRESHOLD:-30}" \
-    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12 \
+    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve \
     BENCH_telemetry.json "$fresh"
 fi
 

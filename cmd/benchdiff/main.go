@@ -1,7 +1,9 @@
 // Command benchdiff compares two BENCH_*.json files produced by
 // scripts/bench.sh and fails (exit 1) when any benchmark regressed past a
-// ns/op threshold — the gate that makes the repository's benchmark
-// trajectory block CI instead of just accumulating.
+// ns/op threshold, or grew its allocs/op where both files recorded
+// allocation counts (an alloc-free baseline fails on any allocation at
+// all) — the gate that makes the repository's benchmark trajectory block
+// CI instead of just accumulating.
 //
 // Examples:
 //
@@ -34,18 +36,34 @@ type benchFile struct {
 type benchEntry struct {
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// AllocsPerOp is present when the run was recorded with -benchmem
+	// (scripts/bench.sh does this); nil in older files.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // diff is the comparison of one benchmark present in both files.
 type diff struct {
-	Name     string
-	Old, New float64
-	Ratio    float64 // New/Old
+	Name                 string
+	Old, New             float64
+	Ratio                float64 // New/Old
+	OldAllocs, NewAllocs *float64
+	Dim                  string // regression dimension: "" / "ns/op", or "allocs/op"
+}
+
+// allocRegressed gates the allocation count. Alloc counts are
+// deterministic, so an alloc-free baseline (old == 0) regresses on any
+// allocation at all; otherwise the ns/op percentage threshold applies.
+func allocRegressed(old, new, thresholdPct float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return new/old > 1+thresholdPct/100
 }
 
 // compare pairs the two files' benchmarks. Benchmarks only in one file
-// are returned separately; regressions are diffs whose ratio exceeds
-// 1 + threshold/100.
+// are returned separately; regressions are diffs whose ns/op ratio exceeds
+// 1 + threshold/100, plus allocs/op regressions where both files recorded
+// allocation counts.
 func compare(old, new benchFile, thresholdPct float64) (diffs []diff, regressions []diff, onlyOld, onlyNew []string) {
 	for name, o := range old.Benchmarks {
 		n, ok := new.Benchmarks[name]
@@ -53,13 +71,22 @@ func compare(old, new benchFile, thresholdPct float64) (diffs []diff, regression
 			onlyOld = append(onlyOld, name)
 			continue
 		}
-		d := diff{Name: name, Old: o.NsPerOp, New: n.NsPerOp}
+		d := diff{Name: name, Old: o.NsPerOp, New: n.NsPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp}
 		if o.NsPerOp > 0 {
 			d.Ratio = n.NsPerOp / o.NsPerOp
 		}
 		diffs = append(diffs, d)
 		if d.Ratio > 1+thresholdPct/100 {
-			regressions = append(regressions, d)
+			r := d
+			r.Dim = "ns/op"
+			regressions = append(regressions, r)
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil &&
+			allocRegressed(*o.AllocsPerOp, *n.AllocsPerOp, thresholdPct) {
+			r := d
+			r.Dim = "allocs/op"
+			regressions = append(regressions, r)
 		}
 	}
 	for name := range new.Benchmarks {
@@ -153,9 +180,13 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	if !*quiet {
-		fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tratio\n")
+		fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tratio\tallocs/op\n")
 		for _, d := range diffs {
-			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.3f\n", d.Name, d.Old, d.New, d.Ratio)
+			allocs := "-"
+			if d.OldAllocs != nil && d.NewAllocs != nil {
+				allocs = fmt.Sprintf("%.0f -> %.0f", *d.OldAllocs, *d.NewAllocs)
+			}
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.3f\t%s\n", d.Name, d.Old, d.New, d.Ratio, allocs)
 		}
 		w.Flush()
 	}
@@ -172,6 +203,10 @@ func main() {
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d regression(s) above %.0f%%:\n", len(regressions), *threshold)
 		for _, d := range regressions {
+			if d.Dim == "allocs/op" {
+				fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f allocs/op\n", d.Name, *d.OldAllocs, *d.NewAllocs)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns/op (%.2fx)\n", d.Name, d.Old, d.New, d.Ratio)
 		}
 		os.Exit(1)

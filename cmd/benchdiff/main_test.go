@@ -46,6 +46,52 @@ func TestCompareFlagsRegression(t *testing.T) {
 	}
 }
 
+// fileAllocs builds a benchFile whose entries carry allocation counts.
+func fileAllocs(entries map[string][2]float64) benchFile {
+	bf := benchFile{Benchtime: "1x", Benchmarks: map[string]benchEntry{}}
+	for name, v := range entries {
+		allocs := v[1]
+		bf.Benchmarks[name] = benchEntry{Iterations: 1, NsPerOp: v[0], AllocsPerOp: &allocs}
+	}
+	return bf
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	// An alloc-free baseline regresses on any allocation at all.
+	old := fileAllocs(map[string][2]float64{"BenchmarkHot": {100, 0}})
+	bad := fileAllocs(map[string][2]float64{"BenchmarkHot": {100, 2}})
+	_, r, _, _ := compare(old, bad, 25)
+	if len(r) != 1 || r[0].Dim != "allocs/op" {
+		t.Fatalf("alloc-free regression not flagged: %+v", r)
+	}
+	// Unchanged counts pass.
+	if _, r, _, _ := compare(old, old, 25); len(r) != 0 {
+		t.Errorf("identical alloc counts flagged: %+v", r)
+	}
+	// Nonzero baselines get the percentage threshold.
+	old = fileAllocs(map[string][2]float64{"BenchmarkHot": {100, 4}})
+	grown := fileAllocs(map[string][2]float64{"BenchmarkHot": {100, 6}})
+	if _, r, _, _ := compare(old, grown, 25); len(r) != 1 || r[0].Dim != "allocs/op" {
+		t.Errorf("50%% alloc growth not flagged: %+v", r)
+	}
+	within := fileAllocs(map[string][2]float64{"BenchmarkHot": {100, 4}})
+	if _, r, _, _ := compare(old, within, 25); len(r) != 0 {
+		t.Errorf("within-threshold allocs flagged: %+v", r)
+	}
+	// Files without alloc counts (older baselines) are never alloc-gated.
+	legacy := file(map[string]float64{"BenchmarkHot": 100})
+	if _, r, _, _ := compare(legacy, bad, 25); len(r) != 0 {
+		t.Errorf("nil-vs-present alloc counts flagged: %+v", r)
+	}
+	// A benchmark can regress on both dimensions at once.
+	slow := fileAllocs(map[string][2]float64{"BenchmarkHot": {300, 2}})
+	old = fileAllocs(map[string][2]float64{"BenchmarkHot": {100, 0}})
+	_, r, _, _ = compare(old, slow, 25)
+	if len(r) != 2 {
+		t.Errorf("dual regression produced %d entries, want 2: %+v", len(r), r)
+	}
+}
+
 func TestCompareTracksMissingAndNew(t *testing.T) {
 	old := file(map[string]float64{"BenchmarkA": 100, "BenchmarkGone": 50})
 	new := file(map[string]float64{"BenchmarkA": 100, "BenchmarkFresh": 10})
@@ -104,6 +150,32 @@ func TestMissingFixtureAgainstCommitted(t *testing.T) {
 	}
 	if len(onlyNew) != 0 {
 		t.Errorf("missing fixture invents benchmarks: %v", onlyNew)
+	}
+}
+
+// TestAllocsFixtureAgainstCommitted pins the third ci.sh gate: the
+// committed allocs-regression fixture must fail solely on allocs/op (the
+// drift tracker hot path growing allocations), with identical timings and
+// no dropped benchmarks.
+func TestAllocsFixtureAgainstCommitted(t *testing.T) {
+	committed, err := load(filepath.Join("..", "..", "BENCH_telemetry.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture, err := load(filepath.Join("testdata", "bench_allocs_regression.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, regressions, onlyOld, onlyNew := compare(committed, fixture, 25)
+	if len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Errorf("allocs fixture drops/invents benchmarks: %v / %v", onlyOld, onlyNew)
+	}
+	if len(regressions) != 1 {
+		t.Fatalf("allocs fixture regressions = %+v, want exactly one", regressions)
+	}
+	r := regressions[0]
+	if r.Dim != "allocs/op" || r.Name != "BenchmarkDriftTrackerObserve" {
+		t.Errorf("regression = %s on %s, want allocs/op on BenchmarkDriftTrackerObserve", r.Dim, r.Name)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
@@ -100,6 +102,187 @@ func TestDaemonSurvivesFaultPlan(t *testing.T) {
 	}
 	if g := rep.Metrics.Gauges[fault.MetricDownHosts]; g != 2 {
 		t.Errorf("fault_down_hosts gauge = %v, want 2", g)
+	}
+}
+
+// degradeAllHostsPlan degrades every host by factor starting at round 1:
+// profiling and round 0 see the clean cluster, so the models are accurate
+// at first and then production drifts away from them — the seeded drift
+// scenario of the acceptance criteria.
+func degradeAllHostsPlan(hosts int, factor float64) fault.Plan {
+	plan := fault.Plan{Seed: 1}
+	for h := 0; h < hosts; h++ {
+		plan.Faults = append(plan.Faults, fault.Fault{
+			Kind: fault.NodeDegrade, Host: h, Factor: factor, Round: 1,
+		})
+	}
+	return plan
+}
+
+// TestDaemonDriftUnderDegradedHosts is the drift acceptance test: with
+// every host degraded from round 1, the live plane must show nonzero
+// residual gauges and at least one drift event recommending specific
+// cells, and the drained audit log must carry the full decision history.
+func TestDaemonDriftUnderDegradedHosts(t *testing.T) {
+	var auditPath string
+	// The default 4-app mix fills all 16 slots, so co-location (and hence
+	// nonzero pressure on the tracked cells) is guaranteed.
+	base, cancel, errCh, reportPath := startTestDaemon(t, func(c *daemonConfig) {
+		c.faultsPath = writePlan(t, degradeAllHostsPlan(c.hosts, 1.6))
+		c.driftMinObs = 2
+		auditPath = c.driftAuditPath
+	})
+	defer cancel()
+
+	// The tracker needs two rounds per app to warm up; wait for the first
+	// drift event to reach the queryable plane.
+	var snap drift.Snapshot
+	waitFor(t, "a drift event on /api/drift", 60*time.Second, func() bool {
+		code, body := get(t, base+"/api/drift")
+		if code != http.StatusOK {
+			return false
+		}
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("/api/drift is not a snapshot: %v", err)
+		}
+		return snap.EventsFired >= 1
+	})
+	if snap.MeanAbsResidual <= 0 {
+		t.Errorf("mean abs residual = %v, want > 0 under degraded hosts", snap.MeanAbsResidual)
+	}
+	if len(snap.Apps) != 4 {
+		t.Fatalf("drift snapshot tracks %d apps, want 4", len(snap.Apps))
+	}
+	for _, app := range snap.Apps {
+		if app.ObservedCells == 0 {
+			t.Errorf("app %s has no observed cells", app.App)
+		}
+		if len(app.WorstCells) == 0 || app.WorstCells[0].AbsResidual <= 0 {
+			t.Errorf("app %s reports no per-cell residuals: %+v", app.App, app.WorstCells)
+		}
+	}
+
+	// The decision audit is queryable live as JSON Lines.
+	code, body := get(t, base+"/api/decisions")
+	if code != http.StatusOK {
+		t.Fatalf("/api/decisions = %d", code)
+	}
+	live, err := drift.LoadAuditJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/api/decisions is not parsable JSONL: %v", err)
+	}
+	if len(live) == 0 {
+		t.Fatal("no decision records on the live plane")
+	}
+
+	// Drain and verify the flushed artifacts.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	f, err := os.Open(auditPath)
+	if err != nil {
+		t.Fatalf("flushed decision audit missing: %v", err)
+	}
+	defer f.Close()
+	recs, err := drift.LoadAuditJSONL(f)
+	if err != nil {
+		t.Fatalf("flushed audit is not parsable: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("flushed audit is empty")
+	}
+	eventRecorded := false
+	for _, rec := range recs {
+		if len(rec.Assignment) != 4 || len(rec.Predicted) != 4 {
+			t.Errorf("round %d record incomplete: %+v", rec.Round, rec)
+		}
+		if rec.Observed == nil {
+			t.Errorf("round %d has no observed slowdowns", rec.Round)
+		}
+		for _, ev := range rec.DriftEvents {
+			if len(ev.Cells) > 0 {
+				eventRecorded = true
+				for _, c := range ev.Cells {
+					if c.Pressure < 1 || c.Interfering < 1 {
+						t.Errorf("event recommends an out-of-matrix cell: %+v", c)
+					}
+				}
+			}
+		}
+	}
+	if !eventRecorded {
+		t.Error("no audited drift event recommends specific cells")
+	}
+
+	// The final report carries the drift section and nonzero drift series.
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep telemetry.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drift == nil {
+		t.Error("final report has no drift section")
+	}
+	if rep.Metrics.Counters[drift.MetricEvents] == 0 {
+		t.Error("drift_events_total stayed zero in the final report")
+	}
+	if rep.Metrics.Gauges[drift.MetricMeanAbsResidual] <= 0 {
+		t.Error("drift_mean_abs_residual gauge is zero in the final report")
+	}
+	appGauge := telemetry.Label(drift.MetricAppResidual, "app", "M.lmps")
+	if rep.Metrics.Gauges[appGauge] <= 0 {
+		t.Errorf("per-app residual gauge %s is zero", appGauge)
+	}
+}
+
+// TestDaemonDriftAuditDeterministic runs the same seeded drift scenario
+// twice and demands byte-identical decision audit logs — the replayability
+// acceptance criterion.
+func TestDaemonDriftAuditDeterministic(t *testing.T) {
+	run := func() []byte {
+		var auditPath string
+		_, cancel, errCh, _ := startTestDaemon(t, func(c *daemonConfig) {
+			c.faultsPath = writePlan(t, degradeAllHostsPlan(c.hosts, 1.6))
+			c.driftMinObs = 2
+			c.rounds = 3
+			c.workers = 1
+			auditPath = c.driftAuditPath
+		})
+		defer cancel()
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatal("bounded daemon never finished")
+		}
+		raw, err := os.ReadFile(auditPath)
+		if err != nil {
+			t.Fatalf("audit missing: %v", err)
+		}
+		return raw
+	}
+	a := run()
+	b := run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("decision audit is not deterministic for a fixed seed:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	recs, err := drift.LoadAuditJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Errorf("audited rounds = %d, want 3", len(recs))
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/fault"
 	"repro/internal/measure"
 	"repro/internal/obs"
@@ -72,6 +73,15 @@ type daemonConfig struct {
 	profileBackoff   time.Duration // initial retry backoff, doubled per attempt
 	profileTimeout   time.Duration // per-attempt build timeout (0 = none)
 
+	// Drift observability (internal/drift): residual tracking thresholds
+	// and the decision audit log.
+	driftAlpha      float64 // EWMA learning rate for residuals
+	driftThreshold  float64 // relative residual beyond which a cell drifts
+	driftStaleAfter int     // rounds without confirmation before a cell is stale
+	driftMinObs     int     // per-app warm-up before drift events fire
+	driftAuditPath  string  // JSONL decision audit file ("" = none)
+	driftAuditCap   int     // decision records retained in the ring
+
 	// notifyAddr, when non-nil, receives the bound listen address once
 	// the plane is up (test hook).
 	notifyAddr func(string)
@@ -90,6 +100,12 @@ func defaultDaemonConfig() daemonConfig {
 		roundPause:     0,
 		reportPath:     "interfd-report.json",
 		profileRetries: 3, profileBackoff: 50 * time.Millisecond,
+		driftAlpha:      drift.DefaultConfig().Alpha,
+		driftThreshold:  drift.DefaultConfig().ResidualThreshold,
+		driftStaleAfter: drift.DefaultConfig().StaleAfter,
+		driftMinObs:     drift.DefaultConfig().MinObservations,
+		driftAuditPath:  "interfd-decisions.jsonl",
+		driftAuditCap:   drift.DefaultAuditCap,
 	}
 }
 
@@ -115,6 +131,12 @@ func main() {
 		pRetries  = flag.Int("profile-retries", cfg.profileRetries, "extra model-build attempts per workload before dropping it")
 		pBackoff  = flag.Duration("profile-backoff", cfg.profileBackoff, "initial backoff between model-build retries, doubled per attempt")
 		pTimeout  = flag.Duration("profile-timeout", cfg.profileTimeout, "per-attempt model-build timeout (0 = none)")
+		dAlpha    = flag.Float64("drift-alpha", cfg.driftAlpha, "EWMA learning rate for model-drift residual tracking, in (0,1]")
+		dThresh   = flag.Float64("drift-threshold", cfg.driftThreshold, "relative residual beyond which a matrix cell or app counts as drifting")
+		dStale    = flag.Int("drift-stale-after", cfg.driftStaleAfter, "rounds without a confirming observation before a cell counts stale")
+		dMinObs   = flag.Int("drift-min-obs", cfg.driftMinObs, "per-app observations before drift events may fire")
+		dAudit    = flag.String("drift-audit", cfg.driftAuditPath, "write the placement decision audit log (JSON Lines) to this file at drain ('' = none)")
+		dAuditCap = flag.Int("drift-audit-cap", cfg.driftAuditCap, "decision records retained in the audit ring buffer")
 		report    = flag.String("report", cfg.reportPath, "write the final JSON RunReport to this file ('-' for stdout)")
 		trace     = flag.String("trace", "", "write recorded spans as JSON to this file at exit ('-' for stdout)")
 		logFormat = flag.String("log-format", obs.LogText, "log format: text or json")
@@ -137,6 +159,9 @@ func main() {
 	cfg.reportPath, cfg.tracePath = *report, *trace
 	cfg.faultsPath = *faults
 	cfg.profileRetries, cfg.profileBackoff, cfg.profileTimeout = *pRetries, *pBackoff, *pTimeout
+	cfg.driftAlpha, cfg.driftThreshold = *dAlpha, *dThresh
+	cfg.driftStaleAfter, cfg.driftMinObs = *dStale, *dMinObs
+	cfg.driftAuditPath, cfg.driftAuditCap = *dAudit, *dAuditCap
 	switch *policyStr {
 	case schedule.ModelDriven.String():
 		cfg.policy = schedule.ModelDriven
@@ -167,8 +192,38 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 	bus := obs.NewBus(obs.DefaultBusBuffer)
 	runReport := telemetry.NewRunReport("interfd", cfg.seed, os.Args[1:])
 
+	// Drift observability: the tracker and decision audit log exist before
+	// the HTTP plane starts so /api/drift, /api/decisions and the report's
+	// drift section are race-free from the first request.
+	dcfg := drift.DefaultConfig()
+	dcfg.Alpha = cfg.driftAlpha
+	dcfg.ResidualThreshold = cfg.driftThreshold
+	dcfg.StaleAfter = cfg.driftStaleAfter
+	dcfg.MinObservations = cfg.driftMinObs
+	tracker, err := drift.New(dcfg, reg)
+	if err != nil {
+		return err
+	}
+	audit := drift.NewAuditLog(cfg.driftAuditCap)
+	runReport.SetDriftSource(tracker.SnapshotAny)
+
+	// finish flushes the decision audit (tmp+rename, so SIGTERM never
+	// leaves a truncated log) and writes the final report; every daemon
+	// exit path funnels through it.
+	finish := func() error {
+		if err := audit.SaveFile(cfg.driftAuditPath); err != nil {
+			logger.Warn("decision audit flush failed", "path", cfg.driftAuditPath, "err", err)
+		} else if cfg.driftAuditPath != "" {
+			logger.Info("decision audit written", "path", cfg.driftAuditPath,
+				"records", audit.Len(), "evicted", audit.Dropped())
+		}
+		return telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath)
+	}
+
 	srv := obs.New(obs.Options{
 		Registry: reg, Tracer: tracer, Bus: bus, Report: runReport, Logger: logger,
+		DriftSnapshot:  tracker.SnapshotAny,
+		DecisionsJSONL: audit.WriteJSONL,
 	})
 	running, err := srv.Start(cfg.listen)
 	if err != nil {
@@ -232,6 +287,7 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 	retriesC := reg.Counter("interfd_profile_retries_total")
 	droppedC := reg.Counter("interfd_workloads_dropped_total")
 	preds := map[string]core.Predictor{}
+	models := map[string]*core.Model{}
 	scores := map[string]float64{}
 	mixWorkloads := make([]workloads.Workload, 0, len(cfg.mix))
 	bcfg := interference.DefaultBuildConfig()
@@ -258,7 +314,13 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 			Info("model built", "workload", name, "bubble_score", m.BubbleScore,
 				"wall", time.Since(t0).Round(time.Millisecond).String())
 		preds[name] = m
+		models[name] = m
 		scores[name] = m.BubbleScore
+		if m.Matrix != nil {
+			if err := tracker.Register(name, m.Matrix.Pressures, m.Matrix.Nodes, 0); err != nil {
+				logger.Warn("drift registration failed", "workload", name, "err", err)
+			}
+		}
 		if inj != nil {
 			// The naive fallback needs only the analytic sensitivity curve,
 			// so its construction cannot be hit by the failure hook.
@@ -271,13 +333,13 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 		mixWorkloads = append(mixWorkloads, w)
 		if ctx.Err() != nil {
 			logger.Info("shutdown during startup profiling")
-			return telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath)
+			return finish()
 		}
 	}
 	env.FailureHook = nil // transient profiling failures target profiling only
 	if len(preds) == 0 {
 		logger.Error("every workload dropped during profiling; draining")
-		return telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath)
+		return finish()
 	}
 	srv.SetReady(true)
 	logger.Info("ready", "addr", running.Addr, "policy", cfg.policy.String(),
@@ -301,6 +363,16 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 		spec.Mix = append(spec.Mix, schedule.MixEntry{Workload: w, Weight: 1})
 	}
 
+	mixReg := make(map[string]workloads.Workload, len(mixWorkloads))
+	for _, w := range mixWorkloads {
+		mixReg[w.Name] = w
+	}
+	dp := &driftPlane{
+		tracker: tracker, audit: audit,
+		models: models, mixReg: mixReg,
+		hosts: cfg.hosts, inj: inj,
+	}
+
 	for round := 0; cfg.rounds == 0 || round < cfg.rounds; round++ {
 		if ctx.Err() != nil {
 			logger.Info("draining complete, shutting down", "rounds", round)
@@ -312,7 +384,7 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 			downs = inj.DownHosts()
 		}
 		t0 := time.Now()
-		if err := runRound(cfg, round, env, preds, scores, spec, downs, reg, tracer, bus, logger); err != nil {
+		if err := runRound(cfg, round, env, preds, scores, spec, downs, dp, reg, tracer, bus, logger); err != nil {
 			return err
 		}
 		roundsC.Inc()
@@ -333,12 +405,122 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 	}
 
 	srv.SetReady(false)
-	if err := telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath); err != nil {
+	if err := finish(); err != nil {
 		return err
 	}
 	logger.Info("final report written", "path", cfg.reportPath,
 		"rounds", roundsC.Value(), "spans", tracer.Total())
 	return nil
+}
+
+// driftPlane bundles the model-drift observability state runRound feeds:
+// the residual tracker, the decision audit log, the raw (unwrapped) models
+// whose heterogeneity policies map pressure vectors to matrix coordinates,
+// and the workload registry ground-truth measurement needs.
+type driftPlane struct {
+	tracker *drift.Tracker
+	audit   *drift.AuditLog
+	models  map[string]*core.Model
+	mixReg  map[string]workloads.Workload
+	hosts   int
+	inj     *fault.Injector
+}
+
+// observeRound closes the prediction loop for one placement round: it
+// measures what the chosen placement actually does on the ground-truth
+// simulator, feeds each application's (predicted, observed) pair into the
+// drift tracker at the matrix coordinates the prediction used, fires any
+// drift events onto the bus, and appends the round's decision record to
+// the audit log.
+func (dp *driftPlane) observeRound(round int, res placement.Result, env *interference.Env,
+	scores map[string]float64, downs []int, predHits, predMisses uint64,
+	bus *obs.Bus, logger *slog.Logger) {
+
+	actual, err := env.RunPlacement(res.Placement, dp.mixReg)
+	if err != nil {
+		// The observation plane must never take the daemon down; record
+		// the decision without observed values.
+		logger.Warn("drift ground-truth measurement failed", "round", round, "err", err)
+		actual = nil
+	}
+
+	dec := drift.Decision{
+		Round:      round,
+		Assignment: map[string][]string{},
+		Objective:  res.Objective, Evaluations: res.Evaluations,
+		QoSSatisfied:  res.QoSSatisfied,
+		Predicted:     map[string]float64{},
+		PredCacheHits: predHits, PredCacheMisses: predMisses,
+	}
+	if len(downs) > 0 {
+		dec.DownHosts = append([]int(nil), downs...)
+	}
+	if dp.inj != nil {
+		for h := 0; h < dp.hosts; h++ {
+			if f := dp.inj.DegradeFactor(h); f > 1 {
+				if dec.DegradedHosts == nil {
+					dec.DegradedHosts = map[int]float64{}
+				}
+				dec.DegradedHosts[h] = f
+			}
+		}
+		for _, n := range dp.inj.Counts() {
+			dec.FaultEvents += n
+		}
+	}
+
+	names := make([]string, 0, len(res.Predicted))
+	for name := range res.Predicted {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		predicted := res.Predicted[name]
+		dec.Predicted[name] = predicted
+		for _, up := range res.Placement.UnitPositions(name) {
+			dec.Assignment[name] = append(dec.Assignment[name], fmt.Sprintf("%d:%d", up.Host, up.Slot))
+		}
+		out, ok := actual[name]
+		if !ok {
+			continue
+		}
+		if dec.Observed == nil {
+			dec.Observed = map[string]float64{}
+			dec.Residuals = map[string]float64{}
+		}
+		dec.Observed[name] = out.Normalized
+		if predicted > 0 {
+			dec.Residuals[name] = (out.Normalized - predicted) / predicted
+		}
+		m := dp.models[name]
+		if m == nil || m.Matrix == nil {
+			continue
+		}
+		ps, err := core.PressuresFor(res.Placement, name, scores)
+		if err != nil {
+			logger.Warn("drift pressure vector failed", "app", name, "err", err)
+			continue
+		}
+		p, cnt, err := m.Policy.Convert(ps)
+		if err != nil {
+			logger.Warn("drift coordinate conversion failed", "app", name, "err", err)
+			continue
+		}
+		if err := dp.tracker.Observe(name, p, cnt, predicted, out.Normalized, round); err != nil {
+			logger.Warn("drift observation rejected", "app", name, "err", err)
+		}
+	}
+
+	events := dp.tracker.EndRound(round)
+	for _, ev := range events {
+		logger.Warn("model drift detected", "app", ev.App, "reason", ev.Reason,
+			"recent_abs_residual", ev.RecentAbsResidual,
+			"stale_cells", ev.StaleCells, "recommended_cells", len(ev.Cells),
+			"round", ev.Round)
+		bus.Publish("drift_detected", ev)
+	}
+	dec.DriftEvents = events
+	dp.audit.Append(dec)
 }
 
 // runRound performs one scheduling round: a placement-search sweep over
@@ -347,7 +529,8 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 // lifecycle events).
 func runRound(cfg daemonConfig, round int, env *interference.Env,
 	preds map[string]core.Predictor, scores map[string]float64,
-	spec schedule.StreamSpec, downs []int, reg *telemetry.Registry, tracer *telemetry.Tracer,
+	spec schedule.StreamSpec, downs []int, dp *driftPlane,
+	reg *telemetry.Registry, tracer *telemetry.Tracer,
 	bus *obs.Bus, logger *slog.Logger) error {
 
 	span := tracer.StartSpan(fmt.Sprintf("interfd.round/%d", round))
@@ -398,6 +581,8 @@ func runRound(cfg daemonConfig, round int, env *interference.Env,
 			bus.Publish("placement_sample", s)
 		}
 	}
+	hits0 := reg.Counter(placement.MetricPredCacheHits).Value()
+	misses0 := reg.Counter(placement.MetricPredCacheMisses).Value()
 	res, err := placement.Search(req, pcfg)
 	if err != nil {
 		return fmt.Errorf("interfd: round %d search: %w", round, err)
@@ -406,6 +591,16 @@ func runRound(cfg daemonConfig, round int, env *interference.Env,
 	bus.Publish("placement_done", map[string]any{
 		"round": round, "objective": res.Objective, "evaluations": res.Evaluations,
 	})
+
+	// Close the prediction loop: measure the chosen placement on the
+	// ground-truth simulator and feed residuals to the drift tracker and
+	// the decision audit.
+	if dp != nil {
+		dp.observeRound(round, res, env, scores, downs,
+			reg.Counter(placement.MetricPredCacheHits).Value()-hits0,
+			reg.Counter(placement.MetricPredCacheMisses).Value()-misses0,
+			bus, logger)
+	}
 
 	// Job stream through the online cluster manager.
 	jobs, err := schedule.Generate(spec, cfg.seed+int64(round))

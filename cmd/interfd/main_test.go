@@ -30,6 +30,7 @@ func startTestDaemon(t *testing.T, mutate func(*daemonConfig)) (string, context.
 	cfg.batch = 6
 	cfg.searchIters = 300
 	cfg.reportPath = filepath.Join(dir, "report.json")
+	cfg.driftAuditPath = filepath.Join(dir, "decisions.jsonl")
 	addrCh := make(chan string, 1)
 	cfg.notifyAddr = func(a string) { addrCh <- a }
 	if mutate != nil {

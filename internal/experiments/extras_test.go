@@ -79,7 +79,7 @@ func TestMultiwayRunner(t *testing.T) {
 }
 
 func TestExtraRunnersRegistered(t *testing.T) {
-	for _, id := range []string{"ablations", "multiway"} {
+	for _, id := range []string{"ablations", "multiway", "faults", "drift"} {
 		if _, err := RunnerByID(id); err != nil {
 			t.Errorf("extra runner %s unreachable: %v", id, err)
 		}
@@ -88,6 +88,52 @@ func TestExtraRunnersRegistered(t *testing.T) {
 	for _, r := range Runners() {
 		if strings.HasPrefix(r.ID, "ablation") || r.ID == "multiway" {
 			t.Errorf("extra runner %s leaked into paper artifacts", r.ID)
+		}
+	}
+}
+
+// TestDriftRunner checks the scenario's semantics: a drifting cluster
+// must fire at least one drift event, the timeline residuals must swing
+// both ways across the sinusoid, and the summary must name a worst cell
+// with a nonzero residual for every app.
+func TestDriftRunner(t *testing.T) {
+	out, err := quickLab(t).Drift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 2 {
+		t.Fatalf("drift tables = %d, want 2", len(out.Tables))
+	}
+	timeline, summary := out.Tables[0], out.Tables[1]
+	if timeline.Rows() != driftRounds*len(driftApps) {
+		t.Fatalf("timeline rows = %d, want %d", timeline.Rows(), driftRounds*len(driftApps))
+	}
+	events, minResid, maxResid := 0, 0.0, 0.0
+	for r := 0; r < timeline.Rows(); r++ {
+		if ev, _ := timeline.Cell(r, 6); ev != "-" {
+			events++
+		}
+		resid := cellFloat(t, timeline, r, 5)
+		if resid < minResid {
+			minResid = resid
+		}
+		if resid > maxResid {
+			maxResid = resid
+		}
+	}
+	if events == 0 {
+		t.Error("no drift events fired across the whole drifting timeline")
+	}
+	if minResid >= 0 || maxResid <= 0 {
+		t.Errorf("sinusoidal drift should swing residuals both ways, got [%v, %v]", minResid, maxResid)
+	}
+	if summary.Rows() != len(driftApps) {
+		t.Fatalf("summary rows = %d, want %d", summary.Rows(), len(driftApps))
+	}
+	for r := 0; r < summary.Rows(); r++ {
+		if worst, _ := summary.Cell(r, 5); worst == "-" {
+			app, _ := summary.Cell(r, 0)
+			t.Errorf("app %s has no worst cell despite a full timeline", app)
 		}
 	}
 }

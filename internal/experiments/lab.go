@@ -310,6 +310,7 @@ func ExtraRunners() []Runner {
 		{"multiway", (*Lab).Multiway},
 		{"energy", (*Lab).Energy},
 		{"faults", (*Lab).FaultInjection},
+		{"drift", (*Lab).Drift},
 	}
 }
 

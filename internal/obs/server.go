@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -39,6 +40,14 @@ type Options struct {
 	Bus *Bus
 	// Logger receives request-level debug logs; nil silences them.
 	Logger *slog.Logger
+	// DriftSnapshot feeds /api/drift: each request serves the returned
+	// value as JSON (typically a drift.Snapshot). Nil disables the
+	// endpoint (404). The function must be safe for concurrent calls.
+	DriftSnapshot func() any
+	// DecisionsJSONL feeds /api/decisions: each request streams the
+	// placement decision audit log as JSON Lines (typically
+	// drift.AuditLog.WriteJSONL). Nil disables the endpoint (404).
+	DecisionsJSONL func(w io.Writer) error
 }
 
 // Server is the observability plane's HTTP state. Construct with New.
@@ -75,6 +84,8 @@ func (s *Server) Bus() *Bus { return s.opts.Bus }
 //	GET /api/report         live RunReport JSON snapshot
 //	GET /api/spans          spans retained by the tracer ring
 //	GET /api/events         Server-Sent-Events stream
+//	GET /api/drift          model-drift snapshot (404 without a source)
+//	GET /api/decisions      placement decision audit as JSON Lines
 //	GET /debug/pprof/...    net/http/pprof profilers
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -84,6 +95,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/report", s.handleReport)
 	mux.HandleFunc("GET /api/spans", s.handleSpans)
 	mux.HandleFunc("GET /api/events", s.handleEvents)
+	mux.HandleFunc("GET /api/drift", s.handleDrift)
+	mux.HandleFunc("GET /api/decisions", s.handleDecisions)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -133,6 +146,25 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	snap := *s.opts.Report
 	snap.Finish(s.opts.Registry, s.opts.Tracer)
 	writeJSON(w, snap)
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.opts.DriftSnapshot == nil {
+		http.Error(w, "no drift tracker", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.opts.DriftSnapshot())
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if s.opts.DecisionsJSONL == nil {
+		http.Error(w, "no decision audit log", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.opts.DecisionsJSONL(w); err != nil {
+		s.log.Debug("decision audit write failed", "err", err)
+	}
 }
 
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {

@@ -285,12 +285,14 @@ func TestDegradedEndpoints(t *testing.T) {
 	ts := httptest.NewServer(New(Options{}).Handler())
 	defer ts.Close()
 	for path, want := range map[string]int{
-		"/metrics":    http.StatusOK,
-		"/healthz":    http.StatusOK,
-		"/readyz":     http.StatusServiceUnavailable,
-		"/api/report": http.StatusNotFound,
-		"/api/spans":  http.StatusOK,
-		"/api/events": http.StatusServiceUnavailable,
+		"/metrics":       http.StatusOK,
+		"/healthz":       http.StatusOK,
+		"/readyz":        http.StatusServiceUnavailable,
+		"/api/report":    http.StatusNotFound,
+		"/api/spans":     http.StatusOK,
+		"/api/events":    http.StatusServiceUnavailable,
+		"/api/drift":     http.StatusNotFound,
+		"/api/decisions": http.StatusNotFound,
 	} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
@@ -301,6 +303,261 @@ func TestDegradedEndpoints(t *testing.T) {
 		if resp.StatusCode != want {
 			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
 		}
+	}
+}
+
+// TestDriftAndDecisionsEndpoints wires snapshot/JSONL sources and checks
+// both endpoints serve them; the sources are the obs-side contract for the
+// drift tracker and decision audit log.
+func TestDriftAndDecisionsEndpoints(t *testing.T) {
+	snapCalls := 0
+	srv := New(Options{
+		DriftSnapshot: func() any {
+			snapCalls++
+			return map[string]any{"round": snapCalls, "stale_cells": 3}
+		},
+		DecisionsJSONL: func(w io.Writer) error {
+			_, err := io.WriteString(w, "{\"round\":0}\n{\"round\":1}\n")
+			return err
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("drift content type %q", ct)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("drift snapshot is not JSON: %v", err)
+	}
+	if snap["stale_cells"] != 3.0 {
+		t.Errorf("snapshot = %v", snap)
+	}
+
+	resp2, err := http.Get(ts.URL + "/api/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("decisions content type %q", ct)
+	}
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("decision lines = %d, want 2: %q", len(lines), body)
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("line %d is not JSON: %v", i, err)
+		}
+	}
+	// Each /api/drift request must take a fresh snapshot.
+	resp3, err := http.Get(ts.URL + "/api/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if snapCalls != 2 {
+		t.Errorf("snapshot calls = %d, want 2", snapCalls)
+	}
+}
+
+// sseCollect reads SSE frames until `want` events arrived or the stream
+// ends, returning the decoded events.
+func sseCollect(t *testing.T, body io.Reader, want int) []Event {
+	t.Helper()
+	reader := bufio.NewReader(body)
+	var out []Event
+	for len(out) < want {
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early after %d events: %v", len(out), err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("data line %q is not an Event: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestSSEConcurrentSubscribers runs several SSE clients at once while the
+// bus publishes drift events, checking every client sees every event in
+// order — the satellite coverage for the event bus under -race.
+func TestSSEConcurrentSubscribers(t *testing.T) {
+	srv, _, _, bus := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 5
+	const events = 20
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type result struct {
+		events []Event
+		err    error
+	}
+	results := make(chan result, clients)
+	var ready sync.WaitGroup
+	ready.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/api/events", nil)
+			if err != nil {
+				ready.Done()
+				results <- result{err: err}
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			ready.Done()
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			evs := sseCollect(t, resp.Body, events)
+			results <- result{events: evs}
+		}()
+	}
+	ready.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for bus.Subscribers() < clients {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d subscribers registered", bus.Subscribers(), clients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < events; i++ {
+		bus.Publish("drift_detected", map[string]any{
+			"app": "M.lmps", "reason": "residual", "round": i,
+		})
+	}
+	for c := 0; c < clients; c++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("client %d: %v", c, r.err)
+		}
+		for i, ev := range r.events {
+			if ev.Type != "drift_detected" {
+				t.Errorf("client %d event %d type = %q", c, i, ev.Type)
+			}
+			if i > 0 && ev.Seq <= r.events[i-1].Seq {
+				t.Errorf("client %d: seq went backwards (%d after %d)", c, ev.Seq, r.events[i-1].Seq)
+			}
+		}
+	}
+	if bus.Dropped() != 0 {
+		t.Errorf("events dropped with draining clients: %d", bus.Dropped())
+	}
+}
+
+// TestSSESlowConsumer stalls one bus subscriber (a never-draining
+// subscription, the worst case behind a wedged SSE connection) while an
+// HTTP client drains normally: the publisher must never block, the live
+// client must keep receiving, and the stalled subscriber's losses must
+// show up in the drop counter.
+func TestSSESlowConsumer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bus := NewBus(4) // tiny buffer so the stalled subscriber overflows fast
+	srv := New(Options{Registry: reg, Bus: bus})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Stalled subscriber: registered, never drained.
+	_, slowCancel := bus.Subscribe()
+	defer slowCancel()
+
+	// Fast client: drains continuously over HTTP.
+	fastCtx, fastCancel := context.WithCancel(context.Background())
+	defer fastCancel()
+	fastReq, err := http.NewRequestWithContext(fastCtx, "GET", ts.URL+"/api/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastResp, err := http.DefaultClient.Do(fastReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fastResp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for bus.Subscribers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/2 subscribers registered", bus.Subscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fast collector: drain data lines until the stream is cancelled.
+	const events = 500
+	done := make(chan []Event, 1)
+	go func() {
+		reader := bufio.NewReader(fastResp.Body)
+		var evs []Event
+		for {
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				done <- evs
+				return
+			}
+			line = strings.TrimRight(line, "\n")
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Errorf("data line %q is not an Event: %v", line, err)
+				continue
+			}
+			evs = append(evs, ev)
+		}
+	}()
+
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		bus.Publish("drift_detected", map[string]any{"round": i})
+		if i%10 == 0 {
+			// Pace the bursts so the draining client's tiny buffer keeps
+			// up; the stalled client overflows regardless.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("publishing blocked on the slow consumer: %v", elapsed)
+	}
+	time.Sleep(100 * time.Millisecond) // let the handler flush its tail
+	fastCancel()
+	evs := <-done
+	if len(evs) < events/2 {
+		t.Fatalf("fast client saw only %d/%d events while a peer stalled", len(evs), events)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("fast client seq went backwards: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	// The stalled subscriber never drains its 4-slot buffer, so every
+	// publish past the fourth must have counted a drop for it.
+	if got := bus.Dropped(); got < events-4 {
+		t.Errorf("dropped = %d, want >= %d from the stalled subscriber", got, events-4)
 	}
 }
 

@@ -188,6 +188,13 @@ func promLabelBlock(labels string) string {
 	return b.String()
 }
 
+// promHelp escapes help text for a `# HELP` line per the exposition
+// format: backslashes and newlines are the only characters that need it.
+func promHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 func promFloat(v float64) string {
 	switch {
 	case math.IsInf(v, +1):
@@ -205,21 +212,40 @@ func promFloat(v float64) string {
 // metric name so it is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+	typed := map[string]bool{}
+	// header emits the # HELP (when registered) and # TYPE lines once per
+	// sanitized base name. Help is looked up by the raw base name, as
+	// passed to SetHelp.
+	header := func(sanitized, rawBase, kind string) error {
+		if typed[sanitized] {
+			return nil
+		}
+		typed[sanitized] = true
+		if h := help[rawBase]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", sanitized, promHelp(h)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", sanitized, kind)
+		return err
+	}
 	names := make([]string, 0, len(snap.Counters))
 	for name := range snap.Counters {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	typed := map[string]bool{}
 	for _, name := range names {
-		base, labels := splitName(name)
-		base = promName(base)
+		rawBase, labels := splitName(name)
+		base := promName(rawBase)
 		labels = promLabelBlock(labels)
-		if !typed[base] {
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
-				return err
-			}
-			typed[base] = true
+		if err := header(base, rawBase, "counter"); err != nil {
+			return err
 		}
 		full := base
 		if labels != "" {
@@ -235,14 +261,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		base, labels := splitName(name)
-		base = promName(base)
+		rawBase, labels := splitName(name)
+		base := promName(rawBase)
 		labels = promLabelBlock(labels)
-		if !typed[base] {
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
-				return err
-			}
-			typed[base] = true
+		if err := header(base, rawBase, "gauge"); err != nil {
+			return err
 		}
 		full := base
 		if labels != "" {
@@ -259,14 +282,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		h := snap.Histograms[name]
-		base, labels := splitName(name)
-		base = promName(base)
+		rawBase, labels := splitName(name)
+		base := promName(rawBase)
 		labels = promLabelBlock(labels)
-		if !typed[base] {
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
-				return err
-			}
-			typed[base] = true
+		if err := header(base, rawBase, "histogram"); err != nil {
+			return err
 		}
 		withLe := func(le string) string {
 			if labels == "" {
@@ -310,9 +330,20 @@ type RunReport struct {
 	WallSeconds float64  `json:"wall_seconds"`
 	Metrics     Snapshot `json:"metrics"`
 	SpansTotal  uint64   `json:"spans_total"`
+	// Drift is the model-drift section: a snapshot of whatever source was
+	// installed with SetDriftSource (cmd/interfd installs its
+	// drift.Tracker). Omitted when no source is installed.
+	Drift any `json:"drift,omitempty"`
 
 	started time.Time
+	driftFn func() any
 }
+
+// SetDriftSource installs the function Finish calls to populate the Drift
+// section. Install it before the report is served concurrently (the obs
+// plane copies the report struct per request); the function itself must be
+// safe for concurrent calls.
+func (r *RunReport) SetDriftSource(fn func() any) { r.driftFn = fn }
 
 // NewRunReport starts a report clocked from now.
 func NewRunReport(tool string, seed int64, args []string) *RunReport {
@@ -332,6 +363,9 @@ func (r *RunReport) Finish(reg *Registry, tr *Tracer) {
 	r.WallSeconds = time.Since(r.started).Seconds()
 	if reg != nil {
 		r.Metrics = reg.Snapshot()
+	}
+	if r.driftFn != nil {
+		r.Drift = r.driftFn()
 	}
 	r.SpansTotal = tr.Total()
 }

@@ -32,6 +32,9 @@ func goldenRegistry() *Registry {
 	s := reg.Series("best_objective_trace")
 	s.Append(1, 4.5)
 	s.Append(2, 4.1)
+	reg.SetHelp("events_total", "Total events recorded by the golden registry.")
+	reg.SetHelp("runs_total", "Profiling runs by algorithm.")
+	reg.SetHelp("run_seconds", "Run wall time in seconds.")
 	return reg
 }
 
@@ -81,6 +84,9 @@ func nastyRegistry() *Registry {
 	reg.Gauge(`trailing{a="unterminated`).Set(1)
 	h := reg.Histogram(Label("run_seconds", "engine name", `q"uote`), []float64{1})
 	h.Observe(0.5)
+	// Help text with a newline and a backslash must escape per the
+	// exposition format rather than corrupting the frame.
+	reg.SetHelp("jobs_total", "line1\nline2 with \\backslash")
 	return reg
 }
 

@@ -182,6 +182,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	series   map[string]*Series
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -191,7 +192,26 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		series:   map[string]*Series{},
+		help:     map[string]string{},
 	}
+}
+
+// SetHelp attaches Prometheus help text to a metric base name (the name
+// without any label block). WritePrometheus emits it as a `# HELP` line
+// ahead of the `# TYPE` line; metrics without help text export exactly as
+// before. Later calls for the same base name overwrite the text.
+func (r *Registry) SetHelp(base, text string) {
+	r.mu.Lock()
+	r.help[base] = text
+	r.mu.Unlock()
+}
+
+// HelpFor returns the help text registered for a metric base name ("" when
+// none).
+func (r *Registry) HelpFor(base string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[base]
 }
 
 // Counter returns the counter with the given name, creating it on first

@@ -1,8 +1,9 @@
 #!/bin/sh
-# bench.sh — run the repository benchmarks and record ns/op per benchmark
-# in BENCH_telemetry.json at the repo root. Used to track the overhead of
-# the telemetry layer across changes: rerun after instrumentation work and
-# compare against the committed numbers (the budget is 5%).
+# bench.sh — run the repository benchmarks and record ns/op and allocs/op
+# per benchmark in BENCH_telemetry.json at the repo root. Used to track
+# the overhead of the telemetry layer across changes: rerun after
+# instrumentation work and compare against the committed numbers (the
+# budget is 5%; alloc-free hot paths must stay alloc-free).
 #
 # Usage:
 #   scripts/bench.sh                # quick pass (one iteration each)
@@ -15,7 +16,7 @@ out="${BENCH_OUT:-BENCH_telemetry.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench . -benchtime "$benchtime" -timeout 30m . | tee "$raw"
+go test -run '^$' -bench . -benchtime "$benchtime" -benchmem -timeout 30m . | tee "$raw"
 
 awk -v benchtime="$benchtime" '
   /^Benchmark/ && $4 == "ns/op" {
@@ -24,13 +25,16 @@ awk -v benchtime="$benchtime" '
     names[++n] = name
     iters[name] = $2
     nsop[name] = $3
+    if ($8 == "allocs/op") allocs[name] = $7
   }
   END {
     printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", benchtime
     for (i = 1; i <= n; i++) {
       name = names[i]
-      printf "    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s}%s\n", \
-        name, iters[name], nsop[name], (i < n ? "," : "")
+      printf "    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s", \
+        name, iters[name], nsop[name]
+      if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name]
+      printf "}%s\n", (i < n ? "," : "")
     }
     printf "  }\n}\n"
   }
