@@ -37,6 +37,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/placement"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -457,4 +458,63 @@ func BenchmarkRunPlacement(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchService builds a ready placement service over the synthetic
+// 8-host problem, shared setup for the serving-plane benchmarks.
+func benchService(b *testing.B, iters, maxBatch int) *serve.Service {
+	b.Helper()
+	s, err := serve.New(serve.Config{
+		NumHosts: 8, SlotsPerHost: 2, Seed: 1,
+		Iterations: iters, Restarts: 1,
+		QueueDepth: 256, MaxBatch: maxBatch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	req := benchPlacementRequest()
+	s.SetBackend(serve.Backend{Predictors: req.Predictors, Scores: req.Scores})
+	return s
+}
+
+// BenchmarkPlaceRequest measures one placement request end to end
+// through the service — admission, batched search, response assembly —
+// with the same synthetic predictors as BenchmarkPlacementSearch, so the
+// delta between the two is the serving overhead plus tracing.
+func BenchmarkPlaceRequest(b *testing.B) {
+	s := benchService(b, 600, 8)
+	req := serve.PlaceRequest{Apps: []serve.AppDemand{
+		{App: "a", Units: 4}, {App: "b", Units: 4},
+		{App: "c", Units: 4}, {App: "d", Units: 4},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Seed = int64(i + 1)
+		if _, status, err := s.Place(req); err != nil || status != 200 {
+			b.Fatalf("status %d: %v", status, err)
+		}
+	}
+}
+
+// BenchmarkAdmissionQueue isolates the admission machinery — enqueue,
+// deterministic batch formation, ordered merge, span bookkeeping — by
+// making the search itself nearly free (one iteration) and hammering the
+// queue from parallel clients.
+func BenchmarkAdmissionQueue(b *testing.B) {
+	s := benchService(b, 1, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := serve.PlaceRequest{Apps: []serve.AppDemand{{App: "a", Units: 4}}}
+		i := 0
+		for pb.Next() {
+			i++
+			req.Seed = int64(i)
+			if _, status, err := s.Place(req); err != nil || status != 200 {
+				b.Fatalf("status %d: %v", status, err)
+			}
+		}
+	})
 }

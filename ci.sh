@@ -1,29 +1,32 @@
 #!/bin/sh
 # ci.sh — the repository's continuous-integration gate: vet, build
-# (including the interfd daemon and the benchdiff tool), the full test
-# suite with the race detector (which covers the observability-plane
-# handler tests in internal/obs and cmd/interfd), and the benchmark
-# regression gate. Run it before every commit.
+# (including the interfd daemon, the loadgen harness, and the benchdiff
+# tool), the full test suite with the race detector (which covers the
+# observability-plane handler tests in internal/obs and cmd/interfd),
+# the loadgen determinism smoke against a live serve-only daemon, and
+# the benchmark regression gate. Run it before every commit.
 set -eu
 cd "$(dirname "$0")"
 
 echo "== go vet =="
 go vet ./...
-echo "== go build (all packages, cmd/interfd, cmd/benchdiff) =="
+echo "== go build (all packages, cmd/interfd, cmd/loadgen, cmd/benchdiff) =="
 go build ./...
-go build -o /dev/null ./cmd/interfd ./cmd/benchdiff
+go build -o /dev/null ./cmd/interfd ./cmd/loadgen ./cmd/benchdiff
 echo "== go test -race (incl. internal/obs + cmd/interfd handler tests) =="
 go test -race ./...
-echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim/measure/app/drift/experiments) =="
+echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim/measure/app/drift/experiments/serve) =="
 # The parallel placement search, the fault plan, the measurement batch
-# engine, the drift tracker, and the experiment goldens (including the
-# seeded drift scenario) must be pure functions of the seed; run their
+# engine, the drift tracker, the experiment goldens (including the
+# seeded drift scenario), and the placement service (whose responses
+# must be pure functions of request content even under concurrent
+# admission and batching) must be pure functions of the seed; run their
 # packages twice uncached so nondeterminism across runs is caught.
 # internal/measure's batch tests hammer one Env from many goroutines under
-# the race detector.
+# the race detector, and internal/serve's do the same to one Service.
 go test -race -count=2 ./internal/placement ./internal/core ./internal/profile \
   ./internal/fault ./internal/sim ./internal/measure ./internal/app \
-  ./internal/drift ./internal/experiments
+  ./internal/drift ./internal/experiments ./internal/serve
 
 echo "== fuzz smoke (10s per target) =="
 # Short exploratory runs of the committed fuzz targets; the committed
@@ -31,6 +34,40 @@ echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzMatrixAt$' -fuzztime 10s ./internal/profile
 go test -run '^$' -fuzz '^FuzzSetProv$' -fuzztime 10s ./internal/profile
 go test -run '^$' -fuzz '^FuzzHeteroPolicies$' -fuzztime 10s ./internal/hetero
+
+echo "== loadgen smoke (deterministic placement-service reports) =="
+# End-to-end determinism contract of the serving plane over real HTTP:
+# start a serve-only daemon on an ephemeral port, replay the same seeded
+# open-loop trace twice with the load generator, and require the two
+# reports to be byte-identical with zero errors and nonzero sustained
+# throughput.
+smokedir="$(mktemp -d)"
+daemon_pid=""
+cleanup_smoke() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$smokedir"
+}
+trap cleanup_smoke EXIT
+go build -o "$smokedir/interfd" ./cmd/interfd
+go build -o "$smokedir/loadgen" ./cmd/loadgen
+"$smokedir/interfd" -serve-only -listen 127.0.0.1:0 -addr-file "$smokedir/addr" \
+  -mix M.lmps,C.libq -profile-samples 4 -log-level warn \
+  -report "$smokedir/interfd-report.json" -drift-audit "$smokedir/decisions.jsonl" &
+daemon_pid=$!
+"$smokedir/loadgen" -addr-file "$smokedir/addr" -apps M.lmps,C.libq \
+  -n 24 -rate 200 -seed 7 -iters 80 -report "$smokedir/r1.json" -log-level warn
+"$smokedir/loadgen" -addr-file "$smokedir/addr" -apps M.lmps,C.libq \
+  -n 24 -rate 200 -seed 7 -iters 80 -report "$smokedir/r2.json" -log-level warn
+cmp "$smokedir/r1.json" "$smokedir/r2.json"
+grep -q '"errors": 0' "$smokedir/r1.json"
+awk '$1 == "\"sustained_rps\":" { gsub(/,/, "", $2); if ($2 + 0 > 0) ok = 1 }
+  END { exit ok ? 0 : 1 }' "$smokedir/r1.json"
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+cleanup_smoke
+trap - EXIT
+echo "loadgen smoke: two same-seed replays byte-identical, nonzero throughput"
 
 echo "== benchdiff gate =="
 # Self-check the gate itself: the committed baseline must pass against
@@ -71,7 +108,7 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   # they are the benchmarks this repository optimises, so they may not
   # quietly erode behind the generous whole-suite threshold.
   go run ./cmd/benchdiff -quiet -threshold "${BENCH_HOT_THRESHOLD:-30}" \
-    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve \
+    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve,BenchmarkPlaceRequest,BenchmarkAdmissionQueue \
     BENCH_telemetry.json "$fresh"
 fi
 

@@ -7,6 +7,13 @@
 // readiness probes, /api/report, /api/spans, an SSE event stream, and
 // pprof) the whole time.
 //
+// The same listener also serves placement as a service: POST /api/place
+// runs the interference-aware search for an arbitrary app mix (batched
+// through an admission queue), POST /api/whatif scores one concrete
+// placement, and /api/slo reports the latency-SLO burn rate. With
+// -serve-only the round loop is skipped and the daemon is purely an API
+// server.
+//
 // SIGINT/SIGTERM shut it down gracefully: the in-flight round drains, a
 // final RunReport is written to -report, and the HTTP plane stops.
 //
@@ -14,7 +21,9 @@
 //
 //	interfd -listen :8080
 //	interfd -listen :8080 -policy pack-first -rounds 10 -report -
+//	interfd -listen :8080 -serve-only -slo-target 0.25
 //	curl localhost:8080/readyz; curl localhost:8080/metrics
+//	curl -XPOST -d '{"apps":[{"app":"M.lmps","units":4}]}' localhost:8080/api/place
 //	curl -N localhost:8080/api/events
 package main
 
@@ -38,6 +47,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/schedule"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
 
@@ -82,6 +92,17 @@ type daemonConfig struct {
 	driftAuditPath  string  // JSONL decision audit file ("" = none)
 	driftAuditCap   int     // decision records retained in the ring
 
+	// Placement-as-a-service plane (internal/serve) and its latency SLO.
+	serveOnly      bool          // skip the round loop; serve the API until signalled
+	addrFile       string        // write the bound listen address to this file ("" = none)
+	serveQueue     int           // admission-queue depth
+	serveBatch     int           // max requests per dispatcher batch
+	sloTarget      float64       // end-to-end latency SLO target, seconds
+	sloBudget      float64       // error budget (violating fraction allowed)
+	sloWindow      int           // sliding-window size, requests (test hook)
+	sloMinRequests int           // observations before breaches may fire (test hook)
+	sloCooldown    time.Duration // min gap between breach events (test hook)
+
 	// notifyAddr, when non-nil, receives the bound listen address once
 	// the plane is up (test hook).
 	notifyAddr func(string)
@@ -106,6 +127,13 @@ func defaultDaemonConfig() daemonConfig {
 		driftMinObs:     drift.DefaultConfig().MinObservations,
 		driftAuditPath:  "interfd-decisions.jsonl",
 		driftAuditCap:   drift.DefaultAuditCap,
+		serveQueue:      64,
+		serveBatch:      8,
+		sloTarget:       obs.DefaultSLOConfig().TargetSeconds,
+		sloBudget:       obs.DefaultSLOConfig().Budget,
+		sloWindow:       obs.DefaultSLOConfig().Window,
+		sloMinRequests:  obs.DefaultSLOConfig().MinRequests,
+		sloCooldown:     obs.DefaultSLOConfig().Cooldown,
 	}
 }
 
@@ -137,6 +165,12 @@ func main() {
 		dMinObs   = flag.Int("drift-min-obs", cfg.driftMinObs, "per-app observations before drift events may fire")
 		dAudit    = flag.String("drift-audit", cfg.driftAuditPath, "write the placement decision audit log (JSON Lines) to this file at drain ('' = none)")
 		dAuditCap = flag.Int("drift-audit-cap", cfg.driftAuditCap, "decision records retained in the audit ring buffer")
+		serveOnly = flag.Bool("serve-only", cfg.serveOnly, "skip the round loop: profile, arm the placement API, and serve until SIGINT/SIGTERM")
+		addrFile  = flag.String("addr-file", cfg.addrFile, "write the bound listen address to this file once the plane is up")
+		srvQueue  = flag.Int("serve-queue", cfg.serveQueue, "placement API admission-queue depth (full queue answers 429)")
+		srvBatch  = flag.Int("serve-batch", cfg.serveBatch, "max placement requests executed per dispatcher batch")
+		sloTarget = flag.Float64("slo-target", cfg.sloTarget, "placement API latency SLO target, seconds")
+		sloBudget = flag.Float64("slo-budget", cfg.sloBudget, "placement API error budget: allowed violating request fraction in (0,1)")
 		report    = flag.String("report", cfg.reportPath, "write the final JSON RunReport to this file ('-' for stdout)")
 		trace     = flag.String("trace", "", "write recorded spans as JSON to this file at exit ('-' for stdout)")
 		logFormat = flag.String("log-format", obs.LogText, "log format: text or json")
@@ -162,6 +196,9 @@ func main() {
 	cfg.driftAlpha, cfg.driftThreshold = *dAlpha, *dThresh
 	cfg.driftStaleAfter, cfg.driftMinObs = *dStale, *dMinObs
 	cfg.driftAuditPath, cfg.driftAuditCap = *dAudit, *dAuditCap
+	cfg.serveOnly, cfg.addrFile = *serveOnly, *addrFile
+	cfg.serveQueue, cfg.serveBatch = *srvQueue, *srvBatch
+	cfg.sloTarget, cfg.sloBudget = *sloTarget, *sloBudget
 	switch *policyStr {
 	case schedule.ModelDriven.String():
 		cfg.policy = schedule.ModelDriven
@@ -220,13 +257,43 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 		return telemetry.Emit(runReport, reg, tracer, cfg.reportPath, cfg.tracePath)
 	}
 
+	// Placement-as-a-service: the latency SLO tracker, the process-health
+	// collector, and the service itself exist before the HTTP plane starts
+	// so /api/place, /api/whatif, /api/slo and the process_* gauges are
+	// mounted from the first request. The service answers 503 until the
+	// startup models arm its backend below.
+	scfg := obs.SLOConfig{
+		TargetSeconds: cfg.sloTarget, Budget: cfg.sloBudget,
+		Window: cfg.sloWindow, MinRequests: cfg.sloMinRequests,
+		BurnThreshold: 1, Cooldown: cfg.sloCooldown,
+	}
+	slo, err := obs.NewSLOTracker(scfg, reg, bus)
+	if err != nil {
+		return err
+	}
+	svc, err := serve.New(serve.Config{
+		NumHosts: cfg.hosts, SlotsPerHost: cfg.slots,
+		Seed:       cfg.seed,
+		Iterations: cfg.searchIters, Restarts: cfg.searchRestarts,
+		QueueDepth: cfg.serveQueue, MaxBatch: cfg.serveBatch,
+		Workers:   cfg.workers,
+		Telemetry: reg, Tracer: tracer, SLO: slo, Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+
 	srv := obs.New(obs.Options{
 		Registry: reg, Tracer: tracer, Bus: bus, Report: runReport, Logger: logger,
 		DriftSnapshot:  tracker.SnapshotAny,
 		DecisionsJSONL: audit.WriteJSONL,
+		SLOSnapshot:    func() any { return slo.Snapshot() },
+		Runtime:        obs.NewRuntimeCollector(reg),
+		Routes:         svc.Routes(),
 	})
 	running, err := srv.Start(cfg.listen)
 	if err != nil {
+		svc.Close()
 		return err
 	}
 	defer func() {
@@ -236,6 +303,12 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 			logger.Warn("plane shutdown", "err", err)
 		}
 	}()
+	defer svc.Close() // reject queued placements before the plane drains
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(running.Addr+"\n"), 0o644); err != nil {
+			return fmt.Errorf("interfd: write addr file: %w", err)
+		}
+	}
 	if cfg.notifyAddr != nil {
 		cfg.notifyAddr(running.Addr)
 	}
@@ -341,9 +414,23 @@ func runDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) error
 		logger.Error("every workload dropped during profiling; draining")
 		return finish()
 	}
+	// Arm the placement API with the startup models: /api/place and
+	// /api/whatif flip from 503 to live along with /readyz.
+	svc.SetBackend(serve.Backend{Predictors: preds, Scores: scores})
 	srv.SetReady(true)
 	logger.Info("ready", "addr", running.Addr, "policy", cfg.policy.String(),
 		"mix", strings.Join(cfg.mix, ","))
+
+	if cfg.serveOnly {
+		logger.Info("serve-only mode: placement API live, round loop disabled")
+		<-ctx.Done()
+		srv.SetReady(false)
+		if err := finish(); err != nil {
+			return err
+		}
+		logger.Info("final report written", "path", cfg.reportPath, "spans", tracer.Total())
+		return nil
+	}
 
 	roundsC := reg.Counter("interfd_rounds_total")
 	roundSecs := reg.Histogram("interfd_round_wall_seconds", telemetry.ExpBuckets(0.01, 2, 12))

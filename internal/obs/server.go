@@ -48,6 +48,19 @@ type Options struct {
 	// placement decision audit log as JSON Lines (typically
 	// drift.AuditLog.WriteJSONL). Nil disables the endpoint (404).
 	DecisionsJSONL func(w io.Writer) error
+	// SLOSnapshot feeds /api/slo: each request serves the returned value
+	// as JSON (typically an SLOSnapshot composed with latency quantiles).
+	// Nil disables the endpoint (404). Must be safe for concurrent calls.
+	SLOSnapshot func() any
+	// Runtime, when non-nil, is sampled at the top of every /metrics
+	// scrape so the process-health gauges are fresh in the exposition.
+	Runtime *RuntimeCollector
+	// Routes mounts additional handlers on the plane's mux — the hook
+	// layers above obs (e.g. the placement service's POST /api/place)
+	// use to serve traffic through the same listener. Patterns use
+	// net/http ServeMux syntax and must not collide with the built-in
+	// endpoints.
+	Routes map[string]http.Handler
 }
 
 // Server is the observability plane's HTTP state. Construct with New.
@@ -86,7 +99,11 @@ func (s *Server) Bus() *Bus { return s.opts.Bus }
 //	GET /api/events         Server-Sent-Events stream
 //	GET /api/drift          model-drift snapshot (404 without a source)
 //	GET /api/decisions      placement decision audit as JSON Lines
+//	GET /api/slo            latency-SLO snapshot (404 without a source)
 //	GET /debug/pprof/...    net/http/pprof profilers
+//
+// plus any handlers mounted via Options.Routes (the placement service's
+// POST /api/place and POST /api/whatif in cmd/interfd).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -97,6 +114,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/events", s.handleEvents)
 	mux.HandleFunc("GET /api/drift", s.handleDrift)
 	mux.HandleFunc("GET /api/decisions", s.handleDecisions)
+	mux.HandleFunc("GET /api/slo", s.handleSLO)
+	for pattern, h := range s.opts.Routes {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -110,6 +131,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Registry == nil {
 		return
 	}
+	s.opts.Runtime.Sample()
 	if err := s.opts.Registry.WritePrometheus(w); err != nil {
 		s.log.Debug("metrics write failed", "err", err)
 	}
@@ -165,6 +187,14 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	if err := s.opts.DecisionsJSONL(w); err != nil {
 		s.log.Debug("decision audit write failed", "err", err)
 	}
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.opts.SLOSnapshot == nil {
+		http.Error(w, "no SLO tracker", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.opts.SLOSnapshot())
 }
 
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {

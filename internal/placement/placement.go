@@ -253,6 +253,31 @@ func evaluate(p *cluster.Placement, req Request, qos *QoS) (obj, energy float64,
 	return obj, energy, predicted, nil
 }
 
+// Evaluate scores one concrete placement against the request's model —
+// the what-if primitive: the serving plane uses it to answer "what would
+// this exact assignment cost" without running a search. It returns the
+// same Result shape Search does (with Evaluations = 1) so callers can
+// compare a hypothetical placement against a searched one directly. The
+// placement must assign every app in it a predictor and bubble score via
+// req.Predictors and req.Scores.
+func Evaluate(p *cluster.Placement, req Request, qos *QoS) (Result, error) {
+	if p == nil {
+		return Result{}, errors.New("placement: nil placement")
+	}
+	obj, _, pred, err := evaluate(p, req, qos)
+	if err != nil {
+		return Result{}, err
+	}
+	qosOK := qos == nil || pred[qos.App] <= qos.MaxNormalized
+	return Result{
+		Placement:    p,
+		Predicted:    pred,
+		Objective:    obj,
+		QoSSatisfied: qosOK,
+		Evaluations:  1,
+	}, nil
+}
+
 // Search runs the annealing placement search and returns the best
 // placement found across restarts.
 //

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// obsServerFor mounts the service's routes on a real observability server
+// — the exact wiring cmd/interfd uses.
+func obsServerFor(t *testing.T, s *Service) *httptest.Server {
+	t.Helper()
+	srv := obs.New(obs.Options{Routes: s.Routes()})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestHTTPPlaceAndWhatIf drives both endpoints through the obs mux and
+// checks status, request-ID propagation, and the place→whatif round trip.
+func TestHTTPPlaceAndWhatIf(t *testing.T) {
+	s, _, _ := newTestService(t, nil)
+	ts := obsServerFor(t, s)
+
+	resp, body := postJSON(t, ts.URL+"/api/place", PlaceRequest{ID: "http-1", Apps: fourApps()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("place status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "http-1" {
+		t.Errorf("X-Request-ID = %q", got)
+	}
+	var placed Response
+	if err := json.Unmarshal(body, &placed); err != nil {
+		t.Fatalf("place response: %v", err)
+	}
+	if placed.ID != "http-1" || placed.Endpoint != "place" || placed.Objective <= 0 {
+		t.Errorf("place response = %+v", placed)
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/api/whatif", WhatIfRequest{ID: "http-2", Placement: placed.Placement})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("whatif status = %d: %s", resp2.StatusCode, body2)
+	}
+	var wi Response
+	if err := json.Unmarshal(body2, &wi); err != nil {
+		t.Fatal(err)
+	}
+	if wi.Objective != placed.Objective {
+		t.Errorf("whatif objective %v, place %v", wi.Objective, placed.Objective)
+	}
+}
+
+// TestHTTPSameBodySameBytes: the HTTP layer preserves response-level
+// determinism — two posts of the same body return identical bytes.
+func TestHTTPSameBodySameBytes(t *testing.T) {
+	s, _, _ := newTestService(t, nil)
+	ts := obsServerFor(t, s)
+	req := PlaceRequest{Apps: fourApps(), Seed: 7}
+	_, first := postJSON(t, ts.URL+"/api/place", req)
+	_, second := postJSON(t, ts.URL+"/api/place", req)
+	if !bytes.Equal(first, second) {
+		t.Errorf("same body produced different bytes:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestHTTPErrors: malformed JSON, bad requests, and method mismatches.
+func TestHTTPErrors(t *testing.T) {
+	s, _, _ := newTestService(t, nil)
+	ts := obsServerFor(t, s)
+
+	resp, err := http.Post(ts.URL+"/api/place", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d", resp.StatusCode)
+	}
+
+	resp2, body := postJSON(t, ts.URL+"/api/place", PlaceRequest{Apps: []AppDemand{{App: "ghost", Units: 1}}})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown app: status = %d", resp2.StatusCode)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Errorf("error envelope = %s", body)
+	}
+
+	getResp, err := http.Get(ts.URL + "/api/place")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST route: status = %d", getResp.StatusCode)
+	}
+}
+
+// TestHTTPHeaderRequestID: a header-propagated ID reaches the response
+// when the body has none.
+func TestHTTPHeaderRequestID(t *testing.T) {
+	s, _, tr := newTestService(t, nil)
+	ts := obsServerFor(t, s)
+
+	b, _ := json.Marshal(PlaceRequest{Apps: fourApps()})
+	req, err := http.NewRequest("POST", ts.URL+"/api/place", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "hdr-9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var placed Response
+	if err := json.NewDecoder(resp.Body).Decode(&placed); err != nil {
+		t.Fatal(err)
+	}
+	if placed.ID != "hdr-9" {
+		t.Errorf("response ID = %q, want hdr-9", placed.ID)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "hdr-9" {
+		t.Errorf("X-Request-ID = %q", got)
+	}
+	found := false
+	for _, sp := range tr.Spans() {
+		if sp.Name == "serve.place" && sp.Request == "hdr-9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no serve.place span tagged hdr-9")
+	}
+}

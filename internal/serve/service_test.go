@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// linPred predicts 1 + w*sum(pressures).
+type linPred struct{ w float64 }
+
+func (f linPred) PredictPressures(ps []float64) (float64, error) {
+	var sum float64
+	for _, p := range ps {
+		sum += p
+	}
+	return 1 + f.w*sum, nil
+}
+
+// gatePred blocks every prediction until the gate channel closes.
+type gatePred struct {
+	inner core.Predictor
+	gate  <-chan struct{}
+}
+
+func (g gatePred) PredictPressures(ps []float64) (float64, error) {
+	<-g.gate
+	return g.inner.PredictPressures(ps)
+}
+
+func testBackend() Backend {
+	return Backend{
+		Predictors: map[string]core.Predictor{
+			"sens":   linPred{0.30},
+			"quiet":  linPred{0.01},
+			"noisy1": linPred{0.02},
+			"noisy2": linPred{0.02},
+		},
+		Scores: map[string]float64{
+			"sens": 0.5, "quiet": 0.5, "noisy1": 6, "noisy2": 6,
+		},
+	}
+}
+
+// newTestService builds an armed service over an 8x2 cluster with small
+// search defaults, returning the observability pieces for assertions.
+func newTestService(t *testing.T, mutate func(*Config)) (*Service, *telemetry.Registry, *telemetry.Tracer) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(256)
+	cfg := Config{
+		NumHosts: 8, SlotsPerHost: 2, Seed: 42,
+		Iterations: 60, Restarts: 1,
+		Telemetry: reg, Tracer: tr,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.SetBackend(testBackend())
+	return s, reg, tr
+}
+
+func fourApps() []AppDemand {
+	return []AppDemand{
+		{App: "sens", Units: 4}, {App: "quiet", Units: 4},
+		{App: "noisy1", Units: 4}, {App: "noisy2", Units: 4},
+	}
+}
+
+func mustPlace(t *testing.T, s *Service, req PlaceRequest) Response {
+	t.Helper()
+	resp, status, err := s.Place(req)
+	if err != nil {
+		t.Fatalf("Place: status %d: %v", status, err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("Place status = %d", status)
+	}
+	return resp
+}
+
+// TestPlaceBasics: a successful placement fills every response field
+// consistently.
+func TestPlaceBasics(t *testing.T) {
+	s, _, _ := newTestService(t, nil)
+	resp := mustPlace(t, s, PlaceRequest{ID: "r1", Apps: fourApps()})
+	if resp.ID != "r1" || resp.Endpoint != "place" {
+		t.Errorf("identity = %q/%q", resp.ID, resp.Endpoint)
+	}
+	if len(resp.Placement) != 8 || len(resp.Placement[0]) != 2 {
+		t.Fatalf("placement dims = %dx%d", len(resp.Placement), len(resp.Placement[0]))
+	}
+	units := map[string]int{}
+	for _, row := range resp.Placement {
+		for _, app := range row {
+			if app != "" {
+				units[app]++
+			}
+		}
+	}
+	for _, d := range fourApps() {
+		if units[d.App] != d.Units {
+			t.Errorf("%s placed %d units, want %d", d.App, units[d.App], d.Units)
+		}
+	}
+	if resp.Objective <= 0 || len(resp.Predicted) != 4 {
+		t.Errorf("objective %v, predicted %v", resp.Objective, resp.Predicted)
+	}
+	if resp.Evaluations <= 0 {
+		t.Error("no evaluations reported")
+	}
+	want := SimCostBase + SimCostPerEval*float64(resp.Evaluations)
+	if resp.SimServiceSeconds != want {
+		t.Errorf("sim service seconds %v, want %v", resp.SimServiceSeconds, want)
+	}
+	if !resp.QoSSatisfied {
+		t.Error("unconstrained request not QoS-satisfied")
+	}
+}
+
+// TestPlaceDeterministicUnderConcurrency is the tentpole's core claim:
+// identical requests produce byte-identical responses no matter how they
+// interleave with other traffic or how batches form.
+func TestPlaceDeterministicUnderConcurrency(t *testing.T) {
+	s, _, _ := newTestService(t, func(c *Config) { c.MaxBatch = 4; c.QueueDepth = 64 })
+
+	// Serial reference responses for three distinct request contents.
+	reqs := []PlaceRequest{
+		{Apps: fourApps()},
+		{Apps: fourApps(), Seed: 99},
+		{Apps: []AppDemand{{App: "sens", Units: 2}, {App: "noisy1", Units: 2}}},
+	}
+	want := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		b, err := json.Marshal(mustPlace(t, s, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = b
+	}
+
+	const lanes = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, lanes*len(reqs))
+	for lane := 0; lane < lanes; lane++ {
+		for i := range reqs {
+			wg.Add(1)
+			go func(lane, i int) {
+				defer wg.Done()
+				got, err := json.Marshal(mustPlace(t, s, reqs[i]))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if string(got) != string(want[i]) {
+					errs <- fmt.Sprintf("lane %d req %d diverged:\n got %s\nwant %s", lane, i, got, want[i])
+				}
+			}(lane, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestWhatIfRoundTrip: scoring the placement a search returned reproduces
+// the search's own numbers.
+func TestWhatIfRoundTrip(t *testing.T) {
+	s, _, _ := newTestService(t, nil)
+	placed := mustPlace(t, s, PlaceRequest{Apps: fourApps()})
+	wi, status, err := s.WhatIf(WhatIfRequest{ID: "wi1", Placement: placed.Placement})
+	if err != nil {
+		t.Fatalf("WhatIf: status %d: %v", status, err)
+	}
+	if wi.Endpoint != "whatif" || wi.ID != "wi1" {
+		t.Errorf("identity = %q/%q", wi.ID, wi.Endpoint)
+	}
+	if wi.Objective != placed.Objective {
+		t.Errorf("whatif objective %x, place %x", wi.Objective, placed.Objective)
+	}
+	if !reflect.DeepEqual(wi.Predicted, placed.Predicted) {
+		t.Errorf("whatif predictions %v, place %v", wi.Predicted, placed.Predicted)
+	}
+	if wi.Evaluations != 1 {
+		t.Errorf("whatif evaluations = %d, want 1", wi.Evaluations)
+	}
+}
+
+// TestRequestErrors maps the failure modes to statuses.
+func TestRequestErrors(t *testing.T) {
+	s, _, _ := newTestService(t, nil)
+	cases := []struct {
+		name   string
+		req    PlaceRequest
+		status int
+	}{
+		{"no apps", PlaceRequest{}, http.StatusBadRequest},
+		{"unknown app", PlaceRequest{Apps: []AppDemand{{App: "ghost", Units: 1}}}, http.StatusBadRequest},
+		{"qos without bound", PlaceRequest{Apps: fourApps(), QoSApp: "sens"}, http.StatusBadRequest},
+		{"qos app not requested", PlaceRequest{
+			Apps: []AppDemand{{App: "quiet", Units: 1}}, QoSApp: "sens", QoSMax: 1.5,
+		}, http.StatusBadRequest},
+		{"over capacity", PlaceRequest{Apps: []AppDemand{{App: "quiet", Units: 99}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, status, err := s.Place(tc.req)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if status != tc.status {
+				t.Errorf("status = %d, want %d", status, tc.status)
+			}
+		})
+	}
+}
+
+// TestNotReadyBeforeBackend: both endpoints answer 503 until SetBackend.
+func TestNotReadyBeforeBackend(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := New(Config{NumHosts: 4, SlotsPerHost: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Ready() {
+		t.Error("ready before backend")
+	}
+	if _, status, err := s.Place(PlaceRequest{Apps: []AppDemand{{App: "a", Units: 1}}}); err == nil || status != http.StatusServiceUnavailable {
+		t.Errorf("place before backend: status %d err %v", status, err)
+	}
+	if _, status, err := s.WhatIf(WhatIfRequest{Placement: [][]string{{"a", ""}, {"", ""}, {"", ""}, {"", ""}}}); err == nil || status != http.StatusServiceUnavailable {
+		t.Errorf("whatif before backend: status %d err %v", status, err)
+	}
+	s.SetBackend(testBackend())
+	if !s.Ready() {
+		t.Error("not ready after backend")
+	}
+}
+
+// TestQueueFullRejects fills the admission queue behind a gated backend
+// and checks the overflow request is refused with 429, then drains.
+func TestQueueFullRejects(t *testing.T) {
+	gate := make(chan struct{})
+	reg := telemetry.NewRegistry()
+	cfg := Config{
+		NumHosts: 8, SlotsPerHost: 2, Seed: 1,
+		Iterations: 2, Restarts: 1,
+		QueueDepth: 1, MaxBatch: 1, Workers: 1,
+		Telemetry: reg,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	b := testBackend()
+	for app, p := range b.Predictors {
+		b.Predictors[app] = gatePred{p, gate}
+	}
+	s.SetBackend(b)
+
+	req := PlaceRequest{Apps: []AppDemand{{App: "quiet", Units: 2}}}
+	results := make(chan int, 2)
+	// First request: dequeued into a batch, blocked on the gate.
+	go func() { _, st, _ := s.Place(req); results <- st }()
+	waitCounter(t, reg, MetricBatches, 1)
+	// Second request: sits in the queue.
+	go func() { _, st, _ := s.Place(req); results <- st }()
+	waitGauge(t, reg, MetricQueueDepth, 1)
+	// Third request: queue full — rejected immediately.
+	_, status, err := s.Place(req)
+	if err == nil || status != http.StatusTooManyRequests {
+		t.Errorf("overflow: status %d err %v", status, err)
+	}
+	if got := reg.Counter(MetricRejected).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricRejected, got)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if st := <-results; st != http.StatusOK {
+			t.Errorf("queued request %d: status %d", i, st)
+		}
+	}
+}
+
+func waitCounter(t *testing.T, reg *telemetry.Registry, name string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(name).Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %d (at %d)", name, want, reg.Counter(name).Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitGauge(t *testing.T, reg *telemetry.Registry, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge(name).Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %v (at %v)", name, want, reg.Gauge(name).Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseRejectsQueued: Close drains the queue with 503s and further
+// admissions refuse.
+func TestCloseRejectsQueued(t *testing.T) {
+	s, _, _ := newTestService(t, nil)
+	s.Close()
+	_, status, err := s.Place(PlaceRequest{Apps: fourApps()})
+	if err == nil || status != http.StatusServiceUnavailable {
+		t.Errorf("after close: status %d err %v", status, err)
+	}
+	s.Close() // idempotent
+}
+
+// TestSpanTreePerRequest: one placement produces the admit → wait →
+// search → respond causal tree under a serve.place root carrying the
+// request ID.
+func TestSpanTreePerRequest(t *testing.T) {
+	s, _, tr := newTestService(t, nil)
+	mustPlace(t, s, PlaceRequest{ID: "traced-1", Apps: fourApps()})
+
+	spans := tr.Spans()
+	var root telemetry.SpanRecord
+	byName := map[string]telemetry.SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		if sp.Name == "serve.place" {
+			root = sp
+		}
+	}
+	if root.ID == 0 {
+		t.Fatalf("no serve.place root among %d spans", len(spans))
+	}
+	if root.Request != "traced-1" {
+		t.Errorf("root request = %q", root.Request)
+	}
+	for _, stage := range []string{"admit", "wait", "search", "respond"} {
+		sp, ok := byName[stage]
+		if !ok {
+			t.Errorf("missing %s span", stage)
+			continue
+		}
+		if sp.ParentID != root.ID {
+			t.Errorf("%s parent = %d, want root %d", stage, sp.ParentID, root.ID)
+		}
+		if sp.Request != "traced-1" {
+			t.Errorf("%s request = %q", stage, sp.Request)
+		}
+	}
+	if byName["search"].SimSeconds <= 0 {
+		t.Error("search span carries no simulated service time")
+	}
+}
+
+// TestMetricsAndQuantiles: the serve_* family is populated after traffic,
+// including the interpolated latency percentile gauges.
+func TestMetricsAndQuantiles(t *testing.T) {
+	s, reg, _ := newTestService(t, nil)
+	for i := 0; i < 3; i++ {
+		mustPlace(t, s, PlaceRequest{Apps: fourApps(), Seed: int64(i + 1)})
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[telemetry.Label(MetricRequests, "endpoint", "place")]; got != 3 {
+		t.Errorf("place requests = %d, want 3", got)
+	}
+	if got := snap.Counters[MetricBatches]; got == 0 {
+		t.Error("no batches counted")
+	}
+	if snap.Counters[MetricCacheMisses] == 0 {
+		t.Error("shared cache misses not accounted")
+	}
+	for _, h := range []string{HistQueue, HistService, HistE2E} {
+		if snap.Histograms[h].Count == 0 {
+			t.Errorf("histogram %s empty", h)
+		}
+		for _, suffix := range []string{"_p50", "_p95", "_p99"} {
+			v, ok := snap.Gauges[h+suffix]
+			if !ok {
+				t.Errorf("missing quantile gauge %s%s", h, suffix)
+				continue
+			}
+			if v < 0 {
+				t.Errorf("%s%s = %v", h, suffix, v)
+			}
+		}
+	}
+	p50, p99 := snap.Gauges[HistE2E+"_p50"], snap.Gauges[HistE2E+"_p99"]
+	if p50 > p99 {
+		t.Errorf("e2e p50 %v above p99 %v", p50, p99)
+	}
+}
+
+// TestSLOFeedAndBreach: with a breach-on-everything SLO wired in, serving
+// traffic raises the burn-rate gauge and publishes slo_breach events.
+func TestSLOFeedAndBreach(t *testing.T) {
+	bus := obs.NewBus(64)
+	var tracker *obs.SLOTracker
+	s, reg, _ := newTestService(t, func(c *Config) {
+		var err error
+		tracker, err = obs.NewSLOTracker(obs.SLOConfig{
+			TargetSeconds: 1e-9, Budget: 0.05, Window: 16, MinRequests: 1, Cooldown: 0,
+		}, c.Telemetry, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SLO = tracker
+	})
+	ch, cancel := bus.Subscribe()
+	defer cancel()
+	mustPlace(t, s, PlaceRequest{Apps: fourApps()})
+
+	if burn := reg.Gauge(obs.SLOMetricBurnRate).Value(); burn <= 0 {
+		t.Errorf("burn rate = %v, want > 0", burn)
+	}
+	select {
+	case ev := <-ch:
+		if ev.Type != obs.EventSLOBreach {
+			t.Errorf("event type = %q", ev.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no slo_breach event published")
+	}
+	if snap := tracker.Snapshot(); snap.Requests == 0 || snap.Breaches == 0 {
+		t.Errorf("tracker snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,185 @@
+// Package serve turns the placement engine into a service: an admission
+// queue batches concurrent placement requests and executes each batch with
+// the serial-plan / parallel-execute / ordered-merge discipline the
+// measurement engine established, so throughput scales with cores while
+// every response stays a pure function of its request content. Request
+// observability rides on the existing planes: a propagated request ID and
+// a causal span tree per request in the telemetry tracer, per-stage
+// latency histograms with interpolated p50/p95/p99 gauges, and a latency
+// SLO tracker publishing burn-rate breaches on the event bus.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"repro/internal/cluster"
+)
+
+// AppDemand asks for one application at a unit count.
+type AppDemand struct {
+	App   string `json:"app"`
+	Units int    `json:"units"`
+}
+
+// PlaceRequest is the body of POST /api/place: run the interference-aware
+// placement search for the listed applications on the service's cluster.
+// Every field besides Apps is optional. The response is a deterministic
+// function of this content — two identical requests always produce
+// bit-identical responses, regardless of arrival order or batching.
+type PlaceRequest struct {
+	// ID names the request in spans and logs; derived from the content
+	// hash when empty.
+	ID   string      `json:"id,omitempty"`
+	Apps []AppDemand `json:"apps"`
+	// QoSApp/QoSMax optionally constrain one application's predicted
+	// normalized time (placement.QoS).
+	QoSApp string  `json:"qos_app,omitempty"`
+	QoSMax float64 `json:"qos_max,omitempty"`
+	// Seed fixes the search seed; 0 derives one from the content hash.
+	Seed int64 `json:"seed,omitempty"`
+	// Iterations/Restarts override the service's search defaults.
+	Iterations int `json:"iterations,omitempty"`
+	Restarts   int `json:"restarts,omitempty"`
+}
+
+// WhatIfRequest is the body of POST /api/whatif: score one concrete
+// placement (host-by-slot application grid, "" = empty slot) under the
+// service's model without searching.
+type WhatIfRequest struct {
+	ID        string     `json:"id,omitempty"`
+	Placement [][]string `json:"placement"`
+	QoSApp    string     `json:"qos_app,omitempty"`
+	QoSMax    float64    `json:"qos_max,omitempty"`
+}
+
+// Response answers both endpoints. SimServiceSeconds is the modeled
+// service cost (a pure function of the evaluation count), not wall time —
+// wall-clock latency lives in the serve_* histograms and the SLO tracker,
+// never in the response, so responses stay byte-reproducible.
+type Response struct {
+	ID                string             `json:"id"`
+	Endpoint          string             `json:"endpoint"`
+	Seed              int64              `json:"seed"`
+	Placement         [][]string         `json:"placement"`
+	Objective         float64            `json:"objective"`
+	Predicted         map[string]float64 `json:"predicted"`
+	QoSSatisfied      bool               `json:"qos_satisfied"`
+	Evaluations       int                `json:"evaluations"`
+	SimServiceSeconds float64            `json:"sim_service_seconds"`
+}
+
+// validate rejects malformed placement requests before admission.
+func (r PlaceRequest) validate() error {
+	if len(r.Apps) == 0 {
+		return errors.New("serve: no apps requested")
+	}
+	seen := map[string]bool{}
+	for _, a := range r.Apps {
+		if a.App == "" || a.Units <= 0 {
+			return fmt.Errorf("serve: bad demand %+v", a)
+		}
+		if seen[a.App] {
+			return fmt.Errorf("serve: duplicate demand for %q", a.App)
+		}
+		seen[a.App] = true
+	}
+	if (r.QoSApp == "") != (r.QoSMax == 0) {
+		return errors.New("serve: qos_app and qos_max must be set together")
+	}
+	if r.QoSApp != "" && !seen[r.QoSApp] {
+		return fmt.Errorf("serve: qos app %q not among requested apps", r.QoSApp)
+	}
+	if r.Iterations < 0 || r.Restarts < 0 {
+		return errors.New("serve: negative search tuning")
+	}
+	return nil
+}
+
+// hash folds the request content into an FNV-64a digest — the basis for
+// the derived request ID and search seed, so identical content means an
+// identical search no matter when or in which batch it runs.
+func (r PlaceRequest) hash() uint64 {
+	h := fnv.New64a()
+	write := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	write("place")
+	for _, a := range r.Apps {
+		write(a.App, strconv.Itoa(a.Units))
+	}
+	write(r.QoSApp, strconv.FormatFloat(r.QoSMax, 'g', -1, 64),
+		strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Iterations), strconv.Itoa(r.Restarts))
+	return h.Sum64()
+}
+
+// requestID returns the explicit ID or one derived from the content hash.
+func (r PlaceRequest) requestID() string {
+	if r.ID != "" {
+		return r.ID
+	}
+	return fmt.Sprintf("req-%016x", r.hash())
+}
+
+// searchSeed mixes the service's base seed with the request: an explicit
+// request seed wins, otherwise the content hash decides — never arrival
+// order, so batching cannot perturb a response.
+func (r PlaceRequest) searchSeed(base int64) int64 {
+	if r.Seed != 0 {
+		return r.Seed
+	}
+	return base*1_000_003 + int64(r.hash()%(1<<62))
+}
+
+// encodePlacement materializes a placement as its host-by-slot grid.
+func encodePlacement(p *cluster.Placement) [][]string {
+	out := make([][]string, p.NumHosts)
+	for h := 0; h < p.NumHosts; h++ {
+		row := make([]string, p.HostSlots)
+		for s := 0; s < p.HostSlots; s++ {
+			row[s] = p.At(h, s)
+		}
+		out[h] = row
+	}
+	return out
+}
+
+// decodePlacement rebuilds a cluster.Placement from a grid, enforcing the
+// service's cluster dimensions and the co-location rule via Set.
+func decodePlacement(grid [][]string, numHosts, slotsPerHost, appsLimit int) (*cluster.Placement, error) {
+	if len(grid) != numHosts {
+		return nil, fmt.Errorf("serve: placement has %d hosts, cluster has %d", len(grid), numHosts)
+	}
+	p, err := cluster.NewPlacementLimit(numHosts, slotsPerHost, appsLimit)
+	if err != nil {
+		return nil, err
+	}
+	for h, row := range grid {
+		if len(row) != slotsPerHost {
+			return nil, fmt.Errorf("serve: host %d has %d slots, cluster has %d", h, len(row), slotsPerHost)
+		}
+		for s, app := range row {
+			if app == "" {
+				continue
+			}
+			if err := p.Set(h, s, app); err != nil {
+				return nil, fmt.Errorf("serve: host %d slot %d: %w", h, s, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+// demands converts the request's app list to cluster demands.
+func (r PlaceRequest) demands() []cluster.Demand {
+	out := make([]cluster.Demand, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = cluster.Demand{App: a.App, Units: a.Units}
+	}
+	return out
+}

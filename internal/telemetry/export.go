@@ -21,6 +21,53 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile of the recorded distribution by
+// linear interpolation inside the bucket holding the target rank — the
+// same estimator Prometheus's histogram_quantile applies server-side,
+// available here for in-process latency readouts (p50/p95/p99 gauges,
+// SLO snapshots).
+//
+// The first bucket interpolates from 0 when its upper bound is positive
+// (durations and sizes), and degenerates to its upper bound otherwise.
+// Ranks landing in the +Inf overflow bucket return the largest finite
+// upper bound, since there is no right edge to interpolate toward.
+// Quantile returns NaN for an empty histogram, a malformed snapshot, or
+// q outside [0, 1].
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) || h.Count == 0 || len(h.Counts) != len(h.Uppers)+1 {
+		return math.NaN()
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	for i, n := range h.Counts {
+		prev := cum
+		cum += n
+		if float64(cum) < rank || n == 0 {
+			continue
+		}
+		if i == len(h.Uppers) {
+			// Overflow bucket: clamp to the largest finite upper bound.
+			if len(h.Uppers) == 0 {
+				return math.NaN()
+			}
+			return h.Uppers[len(h.Uppers)-1]
+		}
+		upper := h.Uppers[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.Uppers[i-1]
+		} else if upper <= 0 {
+			lower = upper
+		}
+		frac := (rank - float64(prev)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	return math.NaN()
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry. Maps
 // marshal with sorted keys, so the JSON form is deterministic for
 // deterministic metric values.

@@ -11,9 +11,12 @@ import (
 // recorded none).
 type SpanRecord struct {
 	Name        string  `json:"name"`
-	Seq         uint64  `json:"seq"`           // 1-based global span number
-	StartWallNs int64   `json:"start_wall_ns"` // ns since the tracer was created
-	WallNs      int64   `json:"wall_ns"`       // wall-clock duration
+	Seq         uint64  `json:"seq"` // 1-based global span number
+	ID          uint64  `json:"id"`  // 1-based span identity, assigned at start
+	ParentID    uint64  `json:"parent_id,omitempty"`
+	Request     string  `json:"request,omitempty"` // propagated request ID
+	StartWallNs int64   `json:"start_wall_ns"`     // ns since the tracer was created
+	WallNs      int64   `json:"wall_ns"`           // wall-clock duration
 	SimSeconds  float64 `json:"sim_seconds,omitempty"`
 }
 
@@ -27,6 +30,7 @@ type Tracer struct {
 	cap   int
 	next  int // overwrite position once the buffer is full
 	total uint64
+	ids   uint64 // span identities handed out at StartSpan
 	epoch time.Time
 	now   func() time.Time
 }
@@ -61,10 +65,13 @@ func (t *Tracer) SetNow(now func() time.Time) {
 // End on it is a no-op, so `defer tracer.StartSpan("x").End()` works with a
 // nil tracer.
 type Span struct {
-	t     *Tracer
-	name  string
-	start time.Time
-	sim   float64
+	t      *Tracer
+	name   string
+	start  time.Time
+	sim    float64
+	id     uint64
+	parent uint64
+	req    string
 }
 
 // StartSpan begins a span. Returns nil on a nil tracer.
@@ -73,9 +80,37 @@ func (t *Tracer) StartSpan(name string) *Span {
 		return nil
 	}
 	t.mu.Lock()
+	t.ids++
+	id := t.ids
 	now := t.now()
 	t.mu.Unlock()
-	return &Span{t: t, name: name, start: now}
+	return &Span{t: t, name: name, start: now, id: id}
+}
+
+// StartChild begins a span causally under s: the child records s's span
+// ID as its parent and inherits s's request ID, so a request's spans form
+// a tree (admit → queue → search → respond) the /api/spans endpoint can
+// reassemble. A nil receiver returns nil, keeping the whole chain no-op
+// on an uninstrumented path.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.t.StartSpan(name)
+	if c != nil {
+		c.parent = s.id
+		c.req = s.req
+	}
+	return c
+}
+
+// SetRequest tags the span (and any children started afterwards) with a
+// propagated request ID.
+func (s *Span) SetRequest(id string) *Span {
+	if s != nil {
+		s.req = id
+	}
+	return s
 }
 
 // SetSimSeconds attributes a simulated-time duration to the span.
@@ -96,6 +131,9 @@ func (s *Span) End() {
 	defer t.mu.Unlock()
 	rec := SpanRecord{
 		Name:        s.name,
+		ID:          s.id,
+		ParentID:    s.parent,
+		Request:     s.req,
 		StartWallNs: s.start.Sub(t.epoch).Nanoseconds(),
 		WallNs:      t.now().Sub(s.start).Nanoseconds(),
 		SimSeconds:  s.sim,

@@ -69,6 +69,76 @@ func TestTracerPartialFill(t *testing.T) {
 	}
 }
 
+// TestSpanTree pins the causal-tree contract the serving plane relies on:
+// every span gets a stable ID at start, children record their parent's ID,
+// and a request tag set on the root propagates to children started after
+// the tag (but never rewrites history).
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(16)
+	clk := &fixedClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tr.SetNow(clk.now)
+
+	root := tr.StartSpan("serve.place").SetRequest("req-7")
+	early := root.StartChild("admit")
+	early.End()
+	search := root.StartChild("search")
+	grand := search.StartChild("predict")
+	grand.End()
+	search.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	rootRec := byName["serve.place"]
+	if rootRec.ID == 0 {
+		t.Fatal("root span has no ID")
+	}
+	if rootRec.ParentID != 0 {
+		t.Errorf("root ParentID = %d, want 0", rootRec.ParentID)
+	}
+	for _, name := range []string{"admit", "search"} {
+		if got := byName[name].ParentID; got != rootRec.ID {
+			t.Errorf("%s ParentID = %d, want root ID %d", name, got, rootRec.ID)
+		}
+		if got := byName[name].Request; got != "req-7" {
+			t.Errorf("%s Request = %q, want req-7", name, got)
+		}
+	}
+	if got := byName["predict"].ParentID; got != byName["search"].ID {
+		t.Errorf("predict ParentID = %d, want search ID %d", got, byName["search"].ID)
+	}
+	if got := rootRec.Request; got != "req-7" {
+		t.Errorf("root Request = %q, want req-7", got)
+	}
+	// IDs are unique across the tree.
+	seen := map[uint64]bool{}
+	for _, sp := range spans {
+		if seen[sp.ID] {
+			t.Errorf("duplicate span ID %d", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+// TestSpanTreeNilSafe extends the nil-tracer contract to the tree API.
+func TestSpanTreeNilSafe(t *testing.T) {
+	var tr *Tracer
+	root := tr.StartSpan("x").SetRequest("r")
+	child := root.StartChild("y")
+	child.StartChild("z").End()
+	child.End()
+	root.End() // none of the above may panic
+	if tr.Total() != 0 {
+		t.Error("nil tracer recorded spans via tree API")
+	}
+}
+
 // TestNilTracerSafe locks in the contract every instrumented layer relies
 // on: a nil tracer (and the nil span it hands out) is inert.
 func TestNilTracerSafe(t *testing.T) {
