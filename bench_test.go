@@ -212,6 +212,7 @@ func BenchmarkModelPredict(b *testing.B) {
 		b.Fatal(err)
 	}
 	pressures := []float64{6, 4, 2, 0, 0, 1, 0, 0}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.PredictPressures(pressures); err != nil {
@@ -314,9 +315,53 @@ func BenchmarkPlacementSearchRestarts(b *testing.B) {
 	}
 }
 
-// BenchmarkDeltaPredict measures a two-host incremental re-prediction
-// against the full-placement prediction the search used to pay per swap.
+// BenchmarkDeltaPredict measures a two-host incremental re-prediction —
+// the exact per-proposal work of the search's swap loop — on the
+// indexed (dense app ID, int32 grid) hot path the engine runs.
 func BenchmarkDeltaPredict(b *testing.B) {
+	req := benchPlacementRequest()
+	p, err := cluster.RandomValid(sim.NewRNG(3), req.NumHosts, req.SlotsPerHost, req.Demands, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.NewAppsIndex(p.Apps(), req.Predictors, req.Scores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := core.NewGrid(p, ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewPredictionCache()
+	out := make([]float64, len(p.Apps()))
+	all := make([]int32, len(p.Apps()))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if err := core.DeltaPredictIdx(grid, all, ix, cache, out); err != nil {
+		b.Fatal(err)
+	}
+	var affected []int32
+	for _, a := range append(p.HostApps(0), p.HostApps(1)...) {
+		id, ok := ix.IndexOf(a)
+		if !ok {
+			b.Fatalf("app %q not indexed", a)
+		}
+		affected = append(affected, id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.DeltaPredictIdx(grid, affected, ix, cache, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaPredictByName measures the string-keyed DeltaPredict
+// compatibility path (adversarial callers, tests, and the serving
+// plane's shared tier), which pays name lookups the indexed path skips.
+func BenchmarkDeltaPredictByName(b *testing.B) {
 	req := benchPlacementRequest()
 	p, err := cluster.RandomValid(sim.NewRNG(3), req.NumHosts, req.SlotsPerHost, req.Demands, 0)
 	if err != nil {
@@ -329,6 +374,7 @@ func BenchmarkDeltaPredict(b *testing.B) {
 	}
 	affected := p.HostApps(0)
 	affected = append(affected, p.HostApps(1)...)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := core.DeltaPredict(p, affected, req.Predictors, req.Scores, cache, out); err != nil {

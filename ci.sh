@@ -34,6 +34,8 @@ echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzMatrixAt$' -fuzztime 10s ./internal/profile
 go test -run '^$' -fuzz '^FuzzSetProv$' -fuzztime 10s ./internal/profile
 go test -run '^$' -fuzz '^FuzzHeteroPolicies$' -fuzztime 10s ./internal/hetero
+go test -run '^$' -fuzz '^FuzzDeltaPredictIdxEquivalence$' -fuzztime 10s ./internal/core
+go test -run '^$' -fuzz '^FuzzQuantile$' -fuzztime 10s ./internal/telemetry
 
 echo "== loadgen smoke (deterministic placement-service reports) =="
 # End-to-end determinism contract of the serving plane over real HTTP:
@@ -108,7 +110,7 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   # they are the benchmarks this repository optimises, so they may not
   # quietly erode behind the generous whole-suite threshold.
   go run ./cmd/benchdiff -quiet -threshold "${BENCH_HOT_THRESHOLD:-30}" \
-    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve,BenchmarkPlaceRequest,BenchmarkAdmissionQueue \
+    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkDeltaPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve,BenchmarkPlaceRequest,BenchmarkAdmissionQueue \
     BENCH_telemetry.json "$fresh"
 fi
 

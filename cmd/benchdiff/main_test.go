@@ -154,9 +154,10 @@ func TestMissingFixtureAgainstCommitted(t *testing.T) {
 }
 
 // TestAllocsFixtureAgainstCommitted pins the third ci.sh gate: the
-// committed allocs-regression fixture must fail solely on allocs/op (the
-// drift tracker hot path growing allocations), with identical timings and
-// no dropped benchmarks.
+// committed allocs-regression fixture must fail solely on allocs/op —
+// the alloc-free hot paths (drift tracker ingestion, model prediction,
+// indexed delta prediction) growing allocations — with identical
+// timings and no dropped benchmarks.
 func TestAllocsFixtureAgainstCommitted(t *testing.T) {
 	committed, err := load(filepath.Join("..", "..", "BENCH_telemetry.json"))
 	if err != nil {
@@ -170,12 +171,25 @@ func TestAllocsFixtureAgainstCommitted(t *testing.T) {
 	if len(onlyOld) != 0 || len(onlyNew) != 0 {
 		t.Errorf("allocs fixture drops/invents benchmarks: %v / %v", onlyOld, onlyNew)
 	}
-	if len(regressions) != 1 {
-		t.Fatalf("allocs fixture regressions = %+v, want exactly one", regressions)
+	want := map[string]bool{
+		"BenchmarkDriftTrackerObserve": true,
+		"BenchmarkModelPredict":        true,
+		"BenchmarkDeltaPredict":        true,
 	}
-	r := regressions[0]
-	if r.Dim != "allocs/op" || r.Name != "BenchmarkDriftTrackerObserve" {
-		t.Errorf("regression = %s on %s, want allocs/op on BenchmarkDriftTrackerObserve", r.Dim, r.Name)
+	if len(regressions) != len(want) {
+		t.Fatalf("allocs fixture regressions = %+v, want exactly %d", regressions, len(want))
+	}
+	for _, r := range regressions {
+		if r.Dim != "allocs/op" {
+			t.Errorf("regression on %s is %s, want allocs/op only", r.Name, r.Dim)
+		}
+		if !want[r.Name] {
+			t.Errorf("unexpected regression on %s", r.Name)
+		}
+		delete(want, r.Name)
+	}
+	for name := range want {
+		t.Errorf("fixture failed to flag the alloc-free baseline of %s", name)
 	}
 }
 

@@ -126,6 +126,13 @@ func (p *Placement) Set(host, slot int, app string) error {
 // At returns the app occupying the given host slot ("" when empty).
 func (p *Placement) At(host, slot int) string { return p.slots[host][slot] }
 
+// Slots returns the slot row of one host for read-only scans. The hot
+// prediction path iterates every slot of every host per pressure vector;
+// handing out the row once per host replaces per-slot double indexing
+// (and its bounds checks) with a single-slice walk. Callers must not
+// mutate or retain the returned slice — it aliases the placement.
+func (p *Placement) Slots(host int) []string { return p.slots[host] }
+
 // Swap exchanges the contents of two slots.
 func (p *Placement) Swap(hostA, slotA, hostB, slotB int) error {
 	if hostA < 0 || hostA >= p.NumHosts || slotA < 0 || slotA >= p.HostSlots ||

@@ -192,13 +192,18 @@ func Solve(node Node, occ []Occupant) (Result, error) {
 	}
 
 	n := len(occ)
-	share := make([]float64, n)
+	// One backing allocation for the five per-occupant vectors; the
+	// three-index slices keep their capacities disjoint so no appendable
+	// alias escapes in the Result.
+	buf := make([]float64, 5*n)
+	share := buf[0*n : 1*n : 1*n]
+	cpi := buf[1*n : 2*n : 2*n]
+	missGBps := buf[2*n : 3*n : 3*n]
+	miss := buf[3*n : 4*n : 4*n] // misses per second, for share competition
+	slowdown := buf[4*n : 5*n : 5*n]
 	for i := range share {
 		share[i] = node.LLCMB / float64(n)
 	}
-	cpi := make([]float64, n)
-	missGBps := make([]float64, n)
-	miss := make([]float64, n) // misses per second, for share competition
 	util := 0.0
 
 	for iter := 0; iter < fixedPointIters; iter++ {
@@ -243,7 +248,7 @@ func Solve(node Node, occ []Occupant) (Result, error) {
 
 	res := Result{
 		CPI:      cpi,
-		Slowdown: make([]float64, n),
+		Slowdown: slowdown,
 		ShareMB:  share,
 		MissGBps: missGBps,
 		BWUtil:   util,

@@ -6,11 +6,22 @@
 // PredictionCache memoizes predictions by (app, pressure vector) so
 // proposals that revisit a configuration skip the policy conversion and
 // matrix lookup entirely.
-
+//
+// The cache is deliberately not a Go map keyed by bytes: profiling the
+// old scheme showed ~3/4 of DeltaPredict spent hashing and comparing
+// byte keys (aeshash + mapaccess + memequal). Instead, app names are
+// interned once into dense int32 IDs and the (id, pressure-vector)
+// pairs live in open-addressed tables whose keys are normalized float
+// bits in a shared arena — probing is integer compares over contiguous
+// memory and a lookup allocates nothing. The byte-key scheme also had
+// two latent bugs the integer scheme removes structurally: an app name
+// containing NUL could collide with a different (app, pressures) pair
+// (the name/vector boundary was a bare NUL separator), and +0/-0
+// pressure entries produced distinct keys for semantically identical
+// inputs (predictions depend only on the value, and +0 == -0).
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +30,183 @@ import (
 	"repro/internal/cluster"
 )
 
+// keyBits returns the hash/equality bits of one pressure entry: the
+// IEEE-754 payload with -0 normalized to +0. Every Predictor in this
+// package is a pure function of the float *values*, and +0 == -0, so
+// folding the two zeros can only turn a spurious miss into a hit — it
+// never changes a prediction.
+func keyBits(p float64) uint64 {
+	if p == 0 {
+		return 0 // +0 and -0 share one key
+	}
+	return math.Float64bits(p)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, statistically strong
+// 64-bit mixer (Vigna 2015). It is the per-word hash step for the
+// open-addressed tables below.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashKey folds seed (the interned app ID, or 0 for the combine table)
+// and the normalized bits of ps into a table hash. The seed enters the
+// first element's mix unmixed — one mix64 per element is plenty, and
+// every stored vector is non-empty so the seed never surfaces raw.
+func hashKey(seed uint64, ps []float64) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for _, p := range ps {
+		h = mix64(h ^ keyBits(p))
+	}
+	return h
+}
+
+// fkEntry is one slot of a floatKeyTable. The key's normalized bits
+// live in the table arena at [off, off+n); app disambiguates entries of
+// the prediction table (0 in the combine table).
+type fkEntry struct {
+	hash uint64
+	val  float64
+	off  int32
+	n    int32
+	app  int32
+	full bool
+}
+
+// floatKeyTable is an open-addressed (power-of-two, linear-probe) map
+// from (app ID, float vector) to float64. Keys are stored once, as
+// normalized bits appended to a shared arena, so the table is three
+// flat allocations total no matter how many entries it holds — and a
+// lookup touches only contiguous memory.
+type floatKeyTable struct {
+	entries []fkEntry
+	arena   []uint64
+	n       int
+}
+
+// get returns the value stored under (h, app, ps), if any.
+func (t *floatKeyTable) get(h uint64, app int32, ps []float64) (float64, bool) {
+	if len(t.entries) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.full {
+			return 0, false
+		}
+		if e.hash == h && e.app == app && int(e.n) == len(ps) &&
+			keyEqual(t.arena[e.off:int(e.off)+int(e.n)], ps) {
+			return e.val, true
+		}
+	}
+}
+
+func keyEqual(stored []uint64, ps []float64) bool {
+	for i := range stored {
+		if stored[i] != keyBits(ps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// put inserts v under (h, app, ps). The key must not already be
+// present (callers insert only after a failed get).
+func (t *floatKeyTable) put(h uint64, app int32, ps []float64, v float64) {
+	if 4*(t.n+1) > 3*len(t.entries) {
+		t.grow()
+	}
+	off := int32(len(t.arena))
+	for _, p := range ps {
+		t.arena = append(t.arena, keyBits(p))
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.full {
+			*e = fkEntry{hash: h, val: v, off: off, n: int32(len(ps)), app: app, full: true}
+			t.n++
+			return
+		}
+	}
+}
+
+// getW is get over a raw pre-encoded key-word slice (no per-element
+// normalization; the caller owns the encoding).
+func (t *floatKeyTable) getW(h uint64, app int32, kw []uint64) (float64, bool) {
+	if len(t.entries) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.full {
+			return 0, false
+		}
+		if e.hash == h && e.app == app && int(e.n) == len(kw) &&
+			wordsEqual(t.arena[e.off:int(e.off)+int(e.n)], kw) {
+			return e.val, true
+		}
+	}
+}
+
+func wordsEqual(stored, kw []uint64) bool {
+	for i := range stored {
+		if stored[i] != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// putW is put over a raw pre-encoded key-word slice.
+func (t *floatKeyTable) putW(h uint64, app int32, kw []uint64, v float64) {
+	if 4*(t.n+1) > 3*len(t.entries) {
+		t.grow()
+	}
+	off := int32(len(t.arena))
+	t.arena = append(t.arena, kw...)
+	mask := uint64(len(t.entries) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.full {
+			*e = fkEntry{hash: h, val: v, off: off, n: int32(len(kw)), app: app, full: true}
+			t.n++
+			return
+		}
+	}
+}
+
+// grow doubles the slot array (min 64) and rehashes in place; the key
+// arena is untouched, entries just carry their offsets across.
+func (t *floatKeyTable) grow() {
+	old := t.entries
+	size := 2 * len(old)
+	if size == 0 {
+		size = 64
+	}
+	t.entries = make([]fkEntry, size)
+	mask := uint64(size - 1)
+	for i := range old {
+		e := old[i]
+		if !e.full {
+			continue
+		}
+		for j := e.hash & mask; ; j = (j + 1) & mask {
+			if !t.entries[j].full {
+				t.entries[j] = e
+				break
+			}
+		}
+	}
+}
+
 // PredictionCache memoizes Predictor results keyed by the application
 // name and the exact (canonically unit-ordered, host-then-slot) pressure
 // vector its model consumes. Predictors must be pure functions of that
@@ -26,19 +214,57 @@ import (
 // policies and the propagation matrix are deterministic — so a hit is
 // bit-identical to recomputation and never perturbs a search trajectory.
 //
+// App names are interned to dense IDs on first sight, so the name/vector
+// boundary is structural (no byte-key ambiguity for names containing
+// NUL) and steady-state lookups never hash a string beyond the intern
+// map probe.
+//
 // A cache is not safe for concurrent use; give each goroutine its own
 // (the parallel placement search keeps one per restart).
 type PredictionCache struct {
-	m            map[string]float64
-	cm           map[string]float64 // co-runner score vector -> combined pressure
-	key, ck      []byte
-	ps, co       []float64 // scratch pressure / co-runner score buffers
-	hits, misses uint64
+	ids map[string]int32 // app name -> interned ID (from 1)
+	pt  floatKeyTable    // (app ID, pressure vector) -> prediction
+	ct  floatKeyTable    // co-runner score vector -> combined pressure
+	// ptW is the pairwise indexed path's prediction memo, keyed by the
+	// co-runner ID sequence at the app's units instead of the float
+	// vector itself: under one AppsIndex binding the ID sequence
+	// determines the pressure vector exactly (each element is the
+	// single-co-runner combine of that ID), so a hit returns the same
+	// bits — but probing needs no float normalization or hashing. Kept
+	// separate from pt so the two key encodings can never alias.
+	ptW floatKeyTable
+	// Indexed-path combine fast memos: under the paper's pairwise
+	// co-location rule a unit has at most one co-runner, so the combine
+	// value is a function of that co-runner's dense app index alone —
+	// a direct array load instead of a hashed probe. Valid only under a
+	// single AppsIndex binding per cache (see DeltaPredictIdx).
+	c1                         []float64 // single-co-runner combine value, by app index
+	c1ok                       []bool
+	cEmpty                     float64 // combine value of the empty co-runner vector
+	cEmptyOK                   bool
+	ps, co                     []float64 // scratch pressure / co-runner score buffers
+	kw                         []uint64  // scratch co-runner ID key words (pairwise path)
+	hits, misses               uint64
+	combineHits, combineMisses uint64
 }
 
 // NewPredictionCache returns an empty cache.
 func NewPredictionCache() *PredictionCache {
-	return &PredictionCache{m: map[string]float64{}, cm: map[string]float64{}}
+	return &PredictionCache{ids: map[string]int32{}}
+}
+
+// intern returns the dense ID for app, assigning the next one on first
+// sight. IDs start at 1 so 0 stays free for the combine table's keyspace.
+func (c *PredictionCache) intern(app string) int32 {
+	if id, ok := c.ids[app]; ok {
+		return id
+	}
+	if c.ids == nil {
+		c.ids = map[string]int32{}
+	}
+	id := int32(len(c.ids) + 1)
+	c.ids[app] = id
+	return id
 }
 
 // combine returns bubble.CombineScores(co, bubble.DefaultCollision),
@@ -48,22 +274,63 @@ func (c *PredictionCache) combine(co []float64) (float64, error) {
 	if c == nil {
 		return bubble.CombineScores(co, bubble.DefaultCollision)
 	}
-	k := c.ck[:0]
-	var buf [8]byte
-	for _, s := range co {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s))
-		k = append(k, buf[:]...)
-	}
-	c.ck = k
-	if v, ok := c.cm[string(k)]; ok {
+	h := hashKey(0, co)
+	if v, ok := c.ct.get(h, 0, co); ok {
+		c.combineHits++
 		return v, nil
 	}
 	v, err := bubble.CombineScores(co, bubble.DefaultCollision)
 	if err != nil {
 		return 0, err
 	}
-	c.cm[string(k)] = v
+	c.ct.put(h, 0, co, v)
+	c.combineMisses++
 	return v, nil
+}
+
+// combineIdx is combine for the indexed path: co vectors of length 0
+// and 1 — the only lengths under pairwise co-location — hit direct
+// memos (a constant and an array indexed by the single co-runner's
+// dense app index); longer vectors fall through to the hashed memo.
+// Values are identical to combine's: every miss computes the same
+// bubble.CombineScores over the same vector, the short keys are just
+// finer-grained (one per co-runner index instead of one per distinct
+// score), which can only re-compute, never alias.
+func (c *PredictionCache) combineIdx(co []float64, single int32) (float64, error) {
+	if c == nil {
+		return bubble.CombineScores(co, bubble.DefaultCollision)
+	}
+	switch len(co) {
+	case 0:
+		if c.cEmptyOK {
+			c.combineHits++
+			return c.cEmpty, nil
+		}
+		v, err := bubble.CombineScores(co, bubble.DefaultCollision)
+		if err != nil {
+			return 0, err
+		}
+		c.cEmpty, c.cEmptyOK = v, true
+		c.combineMisses++
+		return v, nil
+	case 1:
+		if int(single) < len(c.c1) && c.c1ok[single] {
+			c.combineHits++
+			return c.c1[single], nil
+		}
+		v, err := bubble.CombineScores(co, bubble.DefaultCollision)
+		if err != nil {
+			return 0, err
+		}
+		for int(single) >= len(c.c1) {
+			c.c1 = append(c.c1, 0)
+			c.c1ok = append(c.c1ok, false)
+		}
+		c.c1[single], c.c1ok[single] = v, true
+		c.combineMisses++
+		return v, nil
+	}
+	return c.combine(co)
 }
 
 // Predict returns the memoized prediction for (app, pressures), computing
@@ -72,15 +339,9 @@ func (c *PredictionCache) Predict(app string, pred Predictor, pressures []float6
 	if c == nil {
 		return pred.PredictPressures(pressures)
 	}
-	k := append(c.key[:0], app...)
-	k = append(k, 0)
-	var buf [8]byte
-	for _, p := range pressures {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
-		k = append(k, buf[:]...)
-	}
-	c.key = k
-	if v, ok := c.m[string(k)]; ok {
+	id := c.intern(app)
+	h := hashKey(uint64(id), pressures)
+	if v, ok := c.pt.get(h, id, pressures); ok {
 		c.hits++
 		return v, nil
 	}
@@ -88,12 +349,13 @@ func (c *PredictionCache) Predict(app string, pred Predictor, pressures []float6
 	if err != nil {
 		return 0, err
 	}
-	c.m[string(k)] = v
+	c.pt.put(h, id, pressures, v)
 	c.misses++
 	return v, nil
 }
 
-// Stats reports cache hits and misses so far.
+// Stats reports prediction-memo hits and misses so far (the combine
+// memo is reported separately by CombineStats).
 func (c *PredictionCache) Stats() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0
@@ -101,12 +363,22 @@ func (c *PredictionCache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// Len reports the number of memoized entries.
+// CombineStats reports co-runner combine-memo hits and misses so far.
+// These were previously counted nowhere, silently undercounting the
+// placement_prediction_cache_* / serve_pred_cache_* metric families.
+func (c *PredictionCache) CombineStats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.combineHits, c.combineMisses
+}
+
+// Len reports the number of memoized predictions.
 func (c *PredictionCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.m)
+	return c.pt.n
 }
 
 // DeltaPredict re-predicts only the listed applications of p and writes
@@ -152,16 +424,17 @@ func appendPressures(p *cluster.Placement, app string, scores map[string]float64
 		out, co = cache.ps[:0], cache.co[:0]
 	}
 	for h := 0; h < p.NumHosts; h++ {
-		for s := 0; s < p.HostSlots; s++ {
-			if p.At(h, s) != app {
+		row := p.Slots(h)
+		for s := range row {
+			if row[s] != app {
 				continue
 			}
 			co = co[:0]
-			for o := 0; o < p.HostSlots; o++ {
+			for o := range row {
 				if o == s {
 					continue
 				}
-				other := p.At(h, o)
+				other := row[o]
 				if other == "" {
 					continue
 				}

@@ -50,6 +50,16 @@ func (s *SharedPredictionCache) Stats() (hits, misses uint64) {
 	return s.c.Stats()
 }
 
+// CombineStats reports co-runner combine-memo hits and misses so far.
+func (s *SharedPredictionCache) CombineStats() (hits, misses uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.CombineStats()
+}
+
 // Len reports the number of memoized entries.
 func (s *SharedPredictionCache) Len() int {
 	if s == nil {

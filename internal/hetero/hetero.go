@@ -82,18 +82,14 @@ func (p Policy) Convert(pressures []float64) (pressure, count float64, err error
 	if interfering == 0 {
 		return 0, 0, nil
 	}
-	atMax := 0
-	for _, v := range pressures {
-		if v >= maxP-maxPressureEps {
-			atMax++
-		}
-	}
+	// Only the two MAX-counting policies need the second pass over the
+	// vector; ALL MAX and INTERPOLATE are fully determined by the first.
 	switch p {
 	case NMax:
-		return maxP, float64(atMax), nil
+		return maxP, float64(countAtMax(pressures, maxP)), nil
 	case NPlus1Max:
-		c := atMax
-		if interfering > atMax {
+		c := countAtMax(pressures, maxP)
+		if interfering > c {
 			c++
 		}
 		return maxP, float64(c), nil
@@ -104,6 +100,18 @@ func (p Policy) Convert(pressures []float64) (pressure, count float64, err error
 	default:
 		return 0, 0, fmt.Errorf("hetero: unknown policy %d", int(p))
 	}
+}
+
+// countAtMax counts nodes whose pressure is within maxPressureEps of the
+// maximum.
+func countAtMax(pressures []float64, maxP float64) int {
+	atMax := 0
+	for _, v := range pressures {
+		if v >= maxP-maxPressureEps {
+			atMax++
+		}
+	}
+	return atMax
 }
 
 // Predict converts the heterogeneous vector with the policy and evaluates
@@ -232,12 +240,13 @@ func SelectBatch(mat *profile.Matrix, meas BatchMeasurer, nodes, maxPressure, sa
 		return Selection{}, fmt.Errorf("hetero: batch measurer returned %d values for %d samples", len(actuals), samples)
 	}
 	errsByPolicy := map[Policy][]float64{}
+	policies := AllPolicies()
 	for s := 0; s < samples; s++ {
 		cfg, actual := configs[s], actuals[s]
 		if actual <= 0 {
 			return Selection{}, fmt.Errorf("hetero: non-positive measured time %v", actual)
 		}
-		for _, p := range AllPolicies() {
+		for _, p := range policies {
 			pred, err := p.Predict(mat, cfg)
 			if err != nil {
 				return Selection{}, err
@@ -251,7 +260,7 @@ func SelectBatch(mat *profile.Matrix, meas BatchMeasurer, nodes, maxPressure, sa
 		Total:   TotalConfigs(nodes, maxPressure),
 	}
 	bestAvg := math.Inf(1)
-	for _, p := range AllPolicies() {
+	for _, p := range policies {
 		es := errsByPolicy[p]
 		mn, _ := stats.Min(es)
 		mx, _ := stats.Max(es)

@@ -44,6 +44,8 @@ type restartOutcome struct {
 	invalid   uint64
 	hits      uint64 // prediction-cache hits
 	misses    uint64 // prediction-cache misses
+	chits     uint64 // combine-memo hits
+	cmisses   uint64 // combine-memo misses
 	finalTemp float64
 	bests     []bestSnap
 	err       error
@@ -80,130 +82,169 @@ func betterSnap(qosEnabled bool, sign float64, cand, best bestSnap) bool {
 }
 
 // incEval evaluates placements incrementally: it owns the current
-// per-app prediction map, a candidate mirror, and the memo cache. The
-// app list is fixed for the whole search (swaps conserve units), so the
-// weighted objective is accumulated in the same sorted-app order as
-// Objective — bit-identical to a full evaluate.
+// per-app prediction slice, a candidate mirror, and the memo cache. The
+// app list is fixed for the whole search (swaps conserve units), so
+// apps bind to dense indexes once (core.AppsIndex) and the placement
+// mirrors into an int32 grid the swap loop keeps in sync — the
+// per-proposal path never hashes a string. The weighted objective is
+// accumulated in the same sorted-app order as Objective —
+// bit-identical to a full evaluate.
 type incEval struct {
-	req      Request
-	qos      *QoS
-	apps     []string           // sorted, fixed for the search
-	units    []float64          // parallel to apps
-	weight   float64            // total units, accumulated in apps order
-	pred     map[string]float64 // predictions for the current state
-	cand     map[string]float64 // mirror of pred with the proposal's deltas
-	cache    *core.PredictionCache
-	affected []string // scratch: apps touched by the pending proposal
+	req    Request
+	qos    *QoS
+	qosIdx int32 // index of the QoS app, -1 when absent (or no QoS)
+	apps   []string
+	units  []float64 // parallel to apps
+	weight float64   // total units, accumulated in apps order
+	ix     *core.AppsIndex
+	grid   *core.Grid // int32 mirror of the search's placement
+	pred   []float64  // predictions for the current state, by app index
+	cand   []float64  // mirror of pred with the proposal's deltas
+	cache  *core.PredictionCache
+	// pending proposal scratch: the touched apps and the grid swap to
+	// undo on reject.
+	affected       []int32
+	pendHA, pendSA int
+	pendHB, pendSB int
 }
 
 // newIncEval fully predicts the initial placement (seeding the memo
-// cache) and fixes the app/unit weights.
+// cache) and fixes the app/unit weights and index binding.
 func newIncEval(p *cluster.Placement, req Request, qos *QoS) (*incEval, error) {
 	apps := p.Apps()
 	if len(apps) == 0 {
 		return nil, errors.New("placement: empty placement")
 	}
-	e := &incEval{
-		req:   req,
-		qos:   qos,
-		apps:  apps,
-		units: make([]float64, len(apps)),
-		pred:  make(map[string]float64, len(apps)),
-		cand:  make(map[string]float64, len(apps)),
-		cache: core.NewPredictionCache(),
+	ix, err := core.NewAppsIndex(apps, req.Predictors, req.Scores)
+	if err != nil {
+		return nil, err
 	}
+	grid, err := core.NewGrid(p, ix)
+	if err != nil {
+		return nil, err
+	}
+	e := &incEval{
+		req:    req,
+		qos:    qos,
+		qosIdx: -1,
+		apps:   apps,
+		units:  make([]float64, len(apps)),
+		ix:     ix,
+		grid:   grid,
+		pred:   make([]float64, len(apps)),
+		cand:   make([]float64, len(apps)),
+		cache:  core.NewPredictionCache(),
+	}
+	all := make([]int32, len(apps))
 	for i, a := range apps {
 		w := float64(p.UnitsOf(a))
 		e.units[i] = w
 		e.weight += w
+		all[i] = int32(i)
+		if qos != nil && a == qos.App {
+			e.qosIdx = int32(i)
+		}
 	}
-	if err := core.DeltaPredict(p, e.apps, req.Predictors, req.Scores, e.cache, e.pred); err != nil {
+	if err := core.DeltaPredictIdx(grid, all, ix, e.cache, e.pred); err != nil {
 		return nil, err
 	}
-	for a, v := range e.pred {
-		e.cand[a] = v
-	}
+	copy(e.cand, e.pred)
 	return e, nil
 }
 
 // objective computes the unit-weighted mean of the given predictions in
 // sorted-app order, matching Objective's accumulation exactly.
-func (e *incEval) objective(pred map[string]float64) float64 {
+func (e *incEval) objective(pred []float64) float64 {
 	var total float64
-	for i, a := range e.apps {
-		total += pred[a] * e.units[i]
+	for i := range pred {
+		total += pred[i] * e.units[i]
 	}
 	return total / e.weight
 }
 
-// energy adds the QoS penalty to an objective, as evaluate does.
-func (e *incEval) energy(obj float64, pred map[string]float64) float64 {
-	if e.qos != nil {
-		if v, ok := pred[e.qos.App]; ok {
-			if excess := v - e.qos.MaxNormalized; excess > 0 {
-				return obj + qosPenaltyWeight*excess
-			}
+// energy adds the QoS penalty to an objective, as evaluate does (no
+// penalty when the QoS app is absent, matching the map lookup it
+// replaces).
+func (e *incEval) energy(obj float64, pred []float64) float64 {
+	if e.qos != nil && e.qosIdx >= 0 {
+		if excess := pred[e.qosIdx] - e.qos.MaxNormalized; excess > 0 {
+			return obj + qosPenaltyWeight*excess
 		}
 	}
 	return obj
 }
 
-// evalSwapped scores p, which must already have the pending swap of
-// hosts ha/hb applied, by re-predicting only the apps with units on
-// those hosts. The deltas live in e.cand until accept or reject is
-// called (exactly one of which must follow).
-func (e *incEval) evalSwapped(p *cluster.Placement, ha, hb int) (obj, energy float64, err error) {
-	e.affected = e.affected[:0]
-	e.collectHost(p, ha)
-	if hb != ha {
-		e.collectHost(p, hb)
+// qosValue is the current prediction of the QoS app (0 when absent —
+// the value the old map lookup produced).
+func (e *incEval) qosValue() float64 {
+	if e.qosIdx < 0 {
+		return 0
 	}
-	if err := core.DeltaPredict(p, e.affected, e.req.Predictors, e.req.Scores, e.cache, e.cand); err != nil {
+	return e.pred[e.qosIdx]
+}
+
+// evalSwapped scores p, which must already have the pending swap
+// (ha,sa)<->(hb,sb) applied, by replaying the swap onto the grid
+// mirror and re-predicting only the apps with units on the touched
+// hosts. The deltas live in e.cand — and the swap in e.grid — until
+// accept or reject is called (exactly one of which must follow).
+func (e *incEval) evalSwapped(p *cluster.Placement, ha, sa, hb, sb int) (obj, energy float64, err error) {
+	e.grid.Swap(ha, sa, hb, sb)
+	e.pendHA, e.pendSA, e.pendHB, e.pendSB = ha, sa, hb, sb
+	e.affected = e.affected[:0]
+	e.collectHost(ha)
+	if hb != ha {
+		e.collectHost(hb)
+	}
+	if err := core.DeltaPredictIdx(e.grid, e.affected, e.ix, e.cache, e.cand); err != nil {
 		return 0, 0, err
 	}
 	obj = e.objective(e.cand)
 	return obj, e.energy(obj, e.cand), nil
 }
 
-// collectHost appends the distinct apps on host h to e.affected.
-func (e *incEval) collectHost(p *cluster.Placement, h int) {
-	for s := 0; s < p.HostSlots; s++ {
-		a := p.At(h, s)
-		if a == "" {
+// collectHost appends the distinct apps on grid host h to e.affected.
+func (e *incEval) collectHost(h int) {
+	row := e.grid.Row(h)
+	for _, id := range row {
+		if id < 0 {
 			continue
 		}
 		dup := false
 		for _, seen := range e.affected {
-			if seen == a {
+			if seen == id {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			e.affected = append(e.affected, a)
+			e.affected = append(e.affected, id)
 		}
 	}
 }
 
-// accept commits the pending proposal's deltas into the current map.
+// accept commits the pending proposal's deltas into the current slice
+// (the grid already holds the swapped state).
 func (e *incEval) accept() {
-	for _, a := range e.affected {
-		e.pred[a] = e.cand[a]
+	for _, id := range e.affected {
+		e.pred[id] = e.cand[id]
 	}
 }
 
-// reject rolls the candidate mirror back to the current predictions.
+// reject rolls the candidate mirror back to the current predictions and
+// undoes the pending swap on the grid mirror.
 func (e *incEval) reject() {
-	for _, a := range e.affected {
-		e.cand[a] = e.pred[a]
+	for _, id := range e.affected {
+		e.cand[id] = e.pred[id]
 	}
+	e.grid.Swap(e.pendHA, e.pendSA, e.pendHB, e.pendSB)
 }
 
 // snapshot copies the current predictions for a Result.
 func (e *incEval) snapshot() map[string]float64 {
 	pc := make(map[string]float64, len(e.pred))
-	for a, v := range e.pred {
-		pc[a] = v
+	for i, a := range e.apps {
+		pc[a] = e.pred[i]
 	}
 	return pc
 }
@@ -232,7 +273,7 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 	curEnergy := e.energy(curObj, e.pred)
 
 	consider := func(p *cluster.Placement, obj float64) {
-		qosOK := cfg.QoS == nil || e.pred[cfg.QoS.App] <= cfg.QoS.MaxNormalized
+		qosOK := cfg.QoS == nil || e.qosValue() <= cfg.QoS.MaxNormalized
 		cand := Result{Objective: obj, QoSSatisfied: qosOK}
 		if betterResult(cfg.QoS != nil, sign, cand, o.best, o.have) {
 			cand.Placement = p.Clone()
@@ -283,7 +324,7 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 			}
 			continue
 		}
-		candObj, candEnergy, err := e.evalSwapped(cur, ha, hb)
+		candObj, candEnergy, err := e.evalSwapped(cur, ha, sa, hb, sb)
 		if err != nil {
 			o.err = err
 			return o
@@ -311,5 +352,6 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 	}
 	o.finalTemp = temp
 	o.hits, o.misses = e.cache.Stats()
+	o.chits, o.cmisses = e.cache.CombineStats()
 	return o
 }

@@ -38,8 +38,12 @@ func TestIncrementalMatchesFullEvaluate(t *testing.T) {
 					qos != nil, step, obj, energy, wantObj, wantEnergy)
 			}
 			for a, v := range wantPred {
-				if e.pred[a] != v {
-					t.Fatalf("qos=%v step %d: pred[%s]=%x, want %x", qos != nil, step, a, e.pred[a], v)
+				id, ok := e.ix.IndexOf(a)
+				if !ok {
+					t.Fatalf("qos=%v step %d: app %s not indexed", qos != nil, step, a)
+				}
+				if e.pred[id] != v {
+					t.Fatalf("qos=%v step %d: pred[%s]=%x, want %x", qos != nil, step, a, e.pred[id], v)
 				}
 			}
 		}
@@ -62,7 +66,7 @@ func TestIncrementalMatchesFullEvaluate(t *testing.T) {
 				}
 				continue
 			}
-			obj, energy, err := e.evalSwapped(cur, ha, hb)
+			obj, energy, err := e.evalSwapped(cur, ha, sa, hb, sb)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -168,6 +172,13 @@ func TestParallelRestartsDeterministic(t *testing.T) {
 	}
 	if sa.Counters[MetricPredCacheHits] == 0 {
 		t.Error("prediction cache recorded no hits over 3600 annealing steps")
+	}
+	// The combine memo's traffic used to reach no counter at all.
+	if sa.Counters[MetricPredCacheCombineHits] == 0 {
+		t.Error("combine memo recorded no hits over 3600 annealing steps")
+	}
+	if sa.Counters[MetricPredCacheCombineMisses] == 0 {
+		t.Error("combine memo recorded no misses")
 	}
 }
 

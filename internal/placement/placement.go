@@ -183,8 +183,13 @@ const (
 	MetricBestObjective  = "placement_best_objective"
 	MetricFinalTemp      = "placement_final_temperature"
 	// Prediction-memo cache traffic across all restarts of a search.
-	MetricPredCacheHits   = "placement_prediction_cache_hits_total"
-	MetricPredCacheMisses = "placement_prediction_cache_misses_total"
+	// The combine pair counts the co-runner score-combine memo, which
+	// sits under every pressure-vector build and was previously
+	// invisible (its hits/misses reached no counter at all).
+	MetricPredCacheHits          = "placement_prediction_cache_hits_total"
+	MetricPredCacheMisses        = "placement_prediction_cache_misses_total"
+	MetricPredCacheCombineHits   = "placement_prediction_cache_combine_hits_total"
+	MetricPredCacheCombineMisses = "placement_prediction_cache_combine_misses_total"
 	// SeriesTemperature and SeriesBestObjective are convergence series:
 	// x is the global step index across restarts, y the temperature and
 	// the best objective seen so far, respectively.
@@ -204,6 +209,11 @@ type Result struct {
 	Objective    float64            // weighted normalized runtime of Placement
 	QoSSatisfied bool               // constraint holds under the model
 	Evaluations  int                // model evaluations performed
+	// CombineHits/Misses count the co-runner combine-memo traffic across
+	// all restarts, so callers without a telemetry registry (the serving
+	// plane) can still account it.
+	CombineHits   uint64
+	CombineMisses uint64
 }
 
 // qosPenaltyWeight makes any constraint violation dominate the weighted
@@ -403,6 +413,10 @@ func Search(req Request, cfg Config) (Result, error) {
 		}
 	}
 	best.Evaluations = evals
+	for i := range outs {
+		best.CombineHits += outs[i].chits
+		best.CombineMisses += outs[i].cmisses
+	}
 
 	// Replay the buffered restarts in serial order, merging each step's
 	// restart-local best with the best of all earlier restarts.
@@ -426,7 +440,7 @@ func Search(req Request, cfg Config) (Result, error) {
 	}
 
 	if cfg.Telemetry != nil {
-		var prop, acc, rej, inv, hits, misses uint64
+		var prop, acc, rej, inv, hits, misses, chits, cmisses uint64
 		for i := range outs {
 			prop += outs[i].proposals
 			acc += outs[i].accepted
@@ -434,6 +448,8 @@ func Search(req Request, cfg Config) (Result, error) {
 			inv += outs[i].invalid
 			hits += outs[i].hits
 			misses += outs[i].misses
+			chits += outs[i].chits
+			cmisses += outs[i].cmisses
 		}
 		cfg.Telemetry.Counter(MetricIterations).Add(uint64(cfg.Restarts) * uint64(cfg.Iterations))
 		propC := cfg.Telemetry.Counter(MetricProposals)
@@ -444,6 +460,8 @@ func Search(req Request, cfg Config) (Result, error) {
 		cfg.Telemetry.Counter(MetricInvalid).Add(inv)
 		cfg.Telemetry.Counter(MetricPredCacheHits).Add(hits)
 		cfg.Telemetry.Counter(MetricPredCacheMisses).Add(misses)
+		cfg.Telemetry.Counter(MetricPredCacheCombineHits).Add(chits)
+		cfg.Telemetry.Counter(MetricPredCacheCombineMisses).Add(cmisses)
 		cfg.Telemetry.Counter(MetricRestarts).Add(uint64(cfg.Restarts))
 		cfg.Telemetry.Counter(MetricEvaluations).Add(uint64(evals))
 		cfg.Telemetry.Gauge(MetricBestObjective).Set(best.Objective)

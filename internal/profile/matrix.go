@@ -66,6 +66,14 @@ type Matrix struct {
 	// completeScans counts full completeness scans (white-box test hook
 	// pinning that At does not rescan on every prediction).
 	completeScans atomic.Int64
+	// flat is the contiguous row-major mirror of cells (stride Nodes+1),
+	// built by the first successful Complete() scan and kept in sync by
+	// SetProv afterwards. At reads it instead of chasing per-row slice
+	// headers, so a prediction's four cell loads hit one cache-flat
+	// array. Published with compare-and-swap *before* the complete flag
+	// is stored: a reader that observes complete==true is guaranteed a
+	// non-nil table.
+	flat atomic.Pointer[[]float64]
 }
 
 // NewMatrix returns a matrix with every measurable cell unset (NaN) and
@@ -104,6 +112,11 @@ func (m *Matrix) SetProv(i, j int, v float64, p Provenance) error {
 	}
 	m.cells[i][j] = v
 	m.prov[i][j] = p
+	// Keep the flat mirror coherent for matrices that are written after
+	// completion (e.g. drift-driven re-profiling overwriting a cell).
+	if f := m.flat.Load(); f != nil {
+		(*f)[i*(m.Nodes+1)+j] = v
+	}
 	return nil
 }
 
@@ -146,8 +159,21 @@ func (m *Matrix) Complete() bool {
 			}
 		}
 	}
+	m.buildFlat()
 	m.complete.Store(true)
 	return true
+}
+
+// buildFlat publishes the contiguous mirror of cells. Concurrent
+// completeness scans may race here; the first CAS wins and later
+// builders discard their copy, so readers only ever see one table.
+func (m *Matrix) buildFlat() {
+	stride := m.Nodes + 1
+	flat := make([]float64, m.Pressures*stride)
+	for i := range m.cells {
+		copy(flat[i*stride:(i+1)*stride], m.cells[i])
+	}
+	m.flat.CompareAndSwap(nil, &flat)
 }
 
 // Row returns a copy of row i.
@@ -170,19 +196,26 @@ func (m *Matrix) At(pressure, nodes float64) (float64, error) {
 	nodes = stats.Clamp(nodes, 0, float64(m.Nodes))
 	pressure = stats.Clamp(pressure, 0, float64(m.Pressures))
 
+	// The Complete() gate above guarantees the flat mirror is published;
+	// evaluation walks it with dense index arithmetic (row base + column)
+	// instead of chasing per-row slice headers. The node-axis floor and
+	// fraction are loop-invariant across the two rows, and the arithmetic
+	// is exactly the old per-row computation, so results are bit-identical.
+	flat := *m.flat.Load()
+	stride := m.Nodes + 1
+	j := int(math.Floor(nodes))
+	jfrac := nodes - float64(j)
 	// rowAt evaluates a (virtual) pressure row at the fractional node
 	// count.
 	rowAt := func(i int) float64 {
 		if i < 0 {
 			return 1 // virtual pressure-0 row
 		}
-		row := m.cells[i]
-		j := int(math.Floor(nodes))
+		base := i * stride
 		if j >= m.Nodes {
-			return row[m.Nodes]
+			return flat[base+m.Nodes]
 		}
-		frac := nodes - float64(j)
-		return stats.Lerp(row[j], row[j+1], frac)
+		return stats.Lerp(flat[base+j], flat[base+j+1], jfrac)
 	}
 	// Pressure p sits between rows floor(p)-1 and ceil(p)-1 (row i holds
 	// pressure i+1), with the virtual all-ones row at p=0.
@@ -296,7 +329,13 @@ func (m *Matrix) Clone() *Matrix {
 		copy(c.cells[i], m.cells[i])
 		copy(c.prov[i], m.prov[i])
 	}
-	c.complete.Store(m.complete.Load())
+	if m.complete.Load() {
+		// The clone inherits the cached completeness, so it must publish
+		// its flat mirror now — its At will skip the scan that would
+		// otherwise build it.
+		c.buildFlat()
+		c.complete.Store(true)
+	}
 	return c
 }
 

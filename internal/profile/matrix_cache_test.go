@@ -93,3 +93,50 @@ func TestCloneCarriesCompletenessCache(t *testing.T) {
 		t.Error("clone of incomplete matrix should still error in At")
 	}
 }
+
+// TestFlatMirrorWriteThrough pins the flat-table read path against the
+// cell-based AtPartial reference across completion, in-place rewrites
+// (SetProv must write through to the mirror), and cloning.
+func TestFlatMirrorWriteThrough(t *testing.T) {
+	m := fillMatrix(t, 6, 5)
+	points := [][2]float64{
+		{0, 0}, {1, 1}, {2.5, 1.5}, {5.9, 4.9}, {7, 9}, {-1, 2}, {3, 0.25},
+	}
+	check := func(tag string, mat *Matrix) {
+		t.Helper()
+		for _, pt := range points {
+			got, err := mat.At(pt[0], pt[1])
+			if err != nil {
+				t.Fatalf("%s: At(%v, %v): %v", tag, pt[0], pt[1], err)
+			}
+			want, err := mat.AtPartial(pt[0], pt[1])
+			if err != nil {
+				t.Fatalf("%s: AtPartial(%v, %v): %v", tag, pt[0], pt[1], err)
+			}
+			if got != want {
+				t.Fatalf("%s: At(%v, %v) = %v, want %v (bit-exact vs cell path)", tag, pt[0], pt[1], got, want)
+			}
+		}
+	}
+	check("complete", m)
+
+	// Rewriting a cell of a complete matrix must be visible through the
+	// flat mirror immediately.
+	if err := m.SetProv(2, 3, 42.5, Measured); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.At(3, 3); err != nil || v != 42.5 {
+		t.Fatalf("At(3,3) after rewrite = %v, %v; want 42.5", v, err)
+	}
+	check("after rewrite", m)
+
+	c := m.Clone()
+	check("clone", c)
+	// Clone must be independent: a write to the original may not leak.
+	if err := m.SetProv(2, 3, 99, Measured); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.At(3, 3); err != nil || v != 42.5 {
+		t.Fatalf("clone At(3,3) after original rewrite = %v, %v; want 42.5", v, err)
+	}
+}

@@ -34,6 +34,10 @@ const (
 	// attributable to serving (deltas accumulated per batch).
 	MetricCacheHits   = "serve_pred_cache_hits_total"
 	MetricCacheMisses = "serve_pred_cache_misses_total"
+	// MetricCombineHits/Misses is the combine-memo traffic of the same
+	// shared cache (the co-runner score -> combined-pressure layer).
+	MetricCombineHits   = "serve_pred_cache_combine_hits_total"
+	MetricCombineMisses = "serve_pred_cache_combine_misses_total"
 
 	// Per-stage latency histograms; each also exports interpolated
 	// <name>_p50/_p95/_p99 gauges refreshed as requests complete.
@@ -114,12 +118,14 @@ type Service struct {
 	done    chan struct{}
 
 	reqPlace, reqWhatIf, rejected, errs *telemetry.Counter
-	batches, cacheHits, cacheMisses    *telemetry.Counter
-	batchSize, queueDepth              *telemetry.Gauge
-	queueHist, serviceHist, e2eHist    *telemetry.Histogram
+	batches, cacheHits, cacheMisses     *telemetry.Counter
+	combineHits, combineMisses          *telemetry.Counter
+	batchSize, queueDepth               *telemetry.Gauge
+	queueHist, serviceHist, e2eHist     *telemetry.Histogram
 
-	lastHits, lastMisses uint64 // shared-cache stats at the last batch
-	statsMu              sync.Mutex
+	lastHits, lastMisses       uint64 // shared-cache stats at the last batch
+	lastCombHits, lastCombMiss uint64 // combine-memo stats at the last batch
+	statsMu                    sync.Mutex
 }
 
 // pending is one admitted placement request waiting for its batch.
@@ -179,6 +185,8 @@ func New(cfg Config) (*Service, error) {
 		s.batches = reg.Counter(MetricBatches)
 		s.cacheHits = reg.Counter(MetricCacheHits)
 		s.cacheMisses = reg.Counter(MetricCacheMisses)
+		s.combineHits = reg.Counter(MetricCombineHits)
+		s.combineMisses = reg.Counter(MetricCombineMisses)
 		s.batchSize = reg.Gauge(MetricBatchSize)
 		s.queueDepth = reg.Gauge(MetricQueueDepth)
 		s.queueHist = reg.Histogram(HistQueue, latencyBuckets())
@@ -192,6 +200,8 @@ func New(cfg Config) (*Service, error) {
 		reg.SetHelp(MetricQueueDepth, "Admission-queue occupancy.")
 		reg.SetHelp(MetricCacheHits, "Shared prediction-cache hits accumulated by serving.")
 		reg.SetHelp(MetricCacheMisses, "Shared prediction-cache misses accumulated by serving.")
+		reg.SetHelp(MetricCombineHits, "Shared-cache combine-memo hits accumulated by serving.")
+		reg.SetHelp(MetricCombineMisses, "Shared-cache combine-memo misses accumulated by serving.")
 		reg.SetHelp(HistQueue, "Seconds spent queued before batch execution.")
 		reg.SetHelp(HistService, "Seconds spent executing the placement search.")
 		reg.SetHelp(HistE2E, "End-to-end seconds from admission to response.")
@@ -495,6 +505,12 @@ func (s *Service) search(req PlaceRequest, id string) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
+	// The combine memo lives in the per-search caches (not the shared
+	// tier), so its traffic is accounted from the search result.
+	if s.combineHits != nil {
+		s.combineHits.Add(res.CombineHits)
+		s.combineMisses.Add(res.CombineMisses)
+	}
 	return Response{
 		ID:                id,
 		Endpoint:          "place",
@@ -632,12 +648,17 @@ func (s *Service) accountCache() {
 		return
 	}
 	hits, misses := s.shared.Stats()
+	chits, cmisses := s.shared.CombineStats()
 	s.statsMu.Lock()
 	dh, dm := hits-s.lastHits, misses-s.lastMisses
+	dch, dcm := chits-s.lastCombHits, cmisses-s.lastCombMiss
 	s.lastHits, s.lastMisses = hits, misses
+	s.lastCombHits, s.lastCombMiss = chits, cmisses
 	s.statsMu.Unlock()
 	s.cacheHits.Add(dh)
 	s.cacheMisses.Add(dm)
+	s.combineHits.Add(dch)
+	s.combineMisses.Add(dcm)
 }
 
 // refreshQuantiles recomputes the interpolated latency percentiles for

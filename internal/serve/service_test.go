@@ -390,6 +390,14 @@ func TestMetricsAndQuantiles(t *testing.T) {
 	if snap.Counters[MetricCacheMisses] == 0 {
 		t.Error("shared cache misses not accounted")
 	}
+	// The combine memo sits under every search the service ran; its
+	// traffic was previously invisible to the serve_* family.
+	if snap.Counters[MetricCombineMisses] == 0 {
+		t.Error("combine-memo misses not accounted")
+	}
+	if snap.Counters[MetricCombineHits] == 0 {
+		t.Error("combine-memo hits not accounted")
+	}
 	for _, h := range []string{HistQueue, HistService, HistE2E} {
 		if snap.Histograms[h].Count == 0 {
 			t.Errorf("histogram %s empty", h)

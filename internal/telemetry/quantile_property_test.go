@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// refQuantile is a brute-force transcription of Quantile's documented
+// contract, kept deliberately independent of the production code so a
+// refactor of the estimator cannot silently change its answers: build
+// the full cumulative array first, locate the first non-empty bucket
+// whose cumulative count reaches the target rank, then apply the three
+// edge rules (first-bucket lower edge, non-positive degenerate lower,
+// overflow clamp to the largest finite upper bound).
+func refQuantile(h HistogramSnapshot, q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if h.Count == 0 || len(h.Counts) != len(h.Uppers)+1 {
+		return math.NaN()
+	}
+	cum := make([]uint64, len(h.Counts))
+	var running uint64
+	for i, n := range h.Counts {
+		running += n
+		cum[i] = running
+	}
+	rank := q * float64(h.Count)
+	pick := -1
+	for i := range h.Counts {
+		if h.Counts[i] > 0 && float64(cum[i]) >= rank {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		return math.NaN()
+	}
+	if pick == len(h.Uppers) { // overflow bucket
+		if len(h.Uppers) == 0 {
+			return math.NaN()
+		}
+		return h.Uppers[len(h.Uppers)-1]
+	}
+	upper := h.Uppers[pick]
+	lower := 0.0
+	switch {
+	case pick > 0:
+		lower = h.Uppers[pick-1]
+	case upper <= 0:
+		lower = upper
+	}
+	prev := float64(cum[pick] - h.Counts[pick])
+	frac := (rank - prev) / float64(h.Counts[pick])
+	if frac < 0 {
+		frac = 0
+	}
+	return lower + (upper-lower)*frac
+}
+
+// sameQuantile treats two answers as equal when both are NaN or both
+// carry identical bits.
+func sameQuantile(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestQuantileMatchesReference sweeps the estimator's edge cases —
+// empty buckets at and around the target rank, boundary ranks landing
+// exactly on cumulative-count edges, q of 0 and 1, the overflow bucket,
+// and snapshots with no finite buckets at all — against the brute-force
+// reference, plus a handful of analytically known values.
+func TestQuantileMatchesReference(t *testing.T) {
+	snaps := []HistogramSnapshot{
+		snap([]float64{1, 2, 3}, []uint64{2, 2, 2, 0}),
+		snap([]float64{1, 2, 3}, []uint64{0, 2, 0, 0}),   // leading + interior empties
+		snap([]float64{1, 2, 3}, []uint64{1, 0, 1, 0}),   // empty bucket at a rank boundary
+		snap([]float64{1, 2, 3}, []uint64{0, 0, 0, 5}),   // everything overflows
+		snap([]float64{1, 2, 3}, []uint64{2, 0, 0, 3}),   // split across overflow
+		snap([]float64{10}, []uint64{7, 0}),              // single finite bucket
+		snap([]float64{}, []uint64{4}),                   // only an overflow bucket
+		snap([]float64{-2, -1, 5}, []uint64{3, 1, 2, 0}), // non-positive uppers
+		snap([]float64{0}, []uint64{3, 0}),               // zero upper: degenerate lower
+		snap([]float64{1, 2}, []uint64{1, 1}),            // malformed: len mismatch
+		snap([]float64{1, 2}, []uint64{0, 0, 0}),         // empty histogram
+	}
+	qs := []float64{0, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.75, 0.999, 1, -0.1, 1.1, math.NaN()}
+	for si, h := range snaps {
+		for _, q := range qs {
+			got := h.Quantile(q)
+			want := refQuantile(h, q)
+			if !sameQuantile(got, want) {
+				t.Errorf("snap %d: Quantile(%v) = %v, reference says %v", si, q, got, want)
+			}
+		}
+	}
+
+	// Analytic pins: values derivable by hand from the interpolation rule.
+	exact := []struct {
+		h    HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		// 2 obs in (0,1], 2 in (1,2]: the median sits exactly at the edge.
+		{snap([]float64{1, 2}, []uint64{2, 2, 0}), 0.5, 1},
+		// rank 3 of 4: halfway through the (1,2] bucket.
+		{snap([]float64{1, 2}, []uint64{2, 2, 0}), 0.75, 1.5},
+		// all mass in the overflow bucket clamps to the last finite edge.
+		{snap([]float64{1, 2}, []uint64{0, 0, 9}), 0.5, 2},
+		// q=0 lands at the first non-empty bucket's lower edge.
+		{snap([]float64{1, 2, 3}, []uint64{0, 2, 0, 0}), 0, 1},
+	}
+	for i, tc := range exact {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("exact case %d: Quantile(%v) = %v, want %v", i, tc.q, got, tc.want)
+		}
+	}
+}
+
+// FuzzQuantile generates arbitrary bucket shapes and probes, requiring
+// bit-agreement with the reference and basic sanity (finite answers stay
+// within the bucket range, and the estimator is monotone in q).
+func FuzzQuantile(f *testing.F) {
+	f.Add(uint8(3), uint64(1), uint64(0), uint64(2), uint64(0), 0.5, 0.9)
+	f.Add(uint8(0), uint64(4), uint64(0), uint64(0), uint64(0), 0.0, 1.0)
+	f.Add(uint8(2), uint64(0), uint64(0), uint64(0), uint64(7), 0.25, 0.25)
+	f.Fuzz(func(t *testing.T, nb uint8, c0, c1, c2, c3 uint64, q1, q2 float64) {
+		n := int(nb % 4) // 0..3 finite buckets
+		uppers := []float64{0.5, 2, 8}[:n]
+		counts := []uint64{c0 % 1000, c1 % 1000, c2 % 1000, c3 % 1000}[:n+1]
+		h := snap(uppers, counts)
+		for _, q := range []float64{q1, q2, 0, 1} {
+			got := h.Quantile(q)
+			if want := refQuantile(h, q); !sameQuantile(got, want) {
+				t.Fatalf("Quantile(%v) = %v, reference says %v (uppers=%v counts=%v)", q, got, want, uppers, counts)
+			}
+			if !math.IsNaN(got) && n > 0 && (got < -0.5 || got > uppers[n-1]) {
+				t.Fatalf("Quantile(%v) = %v escapes the bucket range (uppers=%v counts=%v)", q, got, uppers, counts)
+			}
+		}
+		if lo, hi := h.Quantile(clamp01(q1)), h.Quantile(clamp01(q2)); !math.IsNaN(lo) && !math.IsNaN(hi) {
+			a, b := clamp01(q1), clamp01(q2)
+			if a > b {
+				a, b, lo, hi = b, a, hi, lo
+			}
+			if lo > hi {
+				t.Fatalf("Quantile not monotone: q=%v -> %v but q=%v -> %v", a, lo, b, hi)
+			}
+		}
+	})
+}
+
+func clamp01(q float64) float64 {
+	if math.IsNaN(q) || q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
