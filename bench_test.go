@@ -33,6 +33,7 @@ import (
 	"repro/internal/drift"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/placement"
@@ -395,6 +396,84 @@ func BenchmarkPlacementSearchFaults(b *testing.B) {
 	cfg := placement.DefaultConfig(1)
 	cfg.Iterations = 1000
 	cfg.Restarts = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := placement.Search(req, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFleetSpec is the 5000-host, 3-class fleet shared by the
+// fleet-scale benchmarks.
+func benchFleetSpec() fleet.Spec {
+	return fleet.Spec{
+		Name:         "bench",
+		TotalHosts:   5000,
+		SlotsPerHost: 2,
+		Templates: []fleet.Template{
+			{Name: "core", Weight: 70},
+			{Name: "burst", Weight: 20, DegradeFactor: 1.2, StartupRounds: 4},
+			{Name: "legacy", Weight: 10, Capacity: 0.8, DegradeFactor: 1.5},
+		},
+	}
+}
+
+// BenchmarkFleetGen measures template-driven fleet generation at fleet
+// scale: apportionment, class expansion, seeded shuffle, and staged
+// startup for 5000 hosts per iteration.
+func BenchmarkFleetGen(b *testing.B) {
+	spec := benchFleetSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Generate(spec, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFleetSearchRequest builds the thousand-app problem: 1000 apps x 4
+// units on the 5000-host fleet, with cheap synthetic predictors so the
+// benchmark isolates the search machinery.
+func benchFleetSearchRequest() placement.Request {
+	spec := benchFleetSpec()
+	rng := sim.NewRNG(9).Stream("bench-fleet-apps")
+	n := 1000
+	demands := make([]cluster.Demand, 0, n)
+	predictors := make(map[string]core.Predictor, n)
+	scores := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		app := "app" + string(rune('a'+i/676%26)) + string(rune('a'+i/26%26)) + string(rune('a'+i%26))
+		per := 0.02 + 0.08*rng.Float64()
+		demands = append(demands, cluster.Demand{App: app, Units: 4})
+		predictors[app] = predictorFunc(func(ps []float64) (float64, error) {
+			var s float64
+			for _, p := range ps {
+				s += p
+			}
+			return 1 + per*s, nil
+		})
+		scores[app] = 0.5 + 5.5*rng.Float64()
+	}
+	return placement.Request{
+		NumHosts:     spec.TotalHosts,
+		SlotsPerHost: spec.SlotsPerHost,
+		Demands:      demands,
+		Predictors:   predictors,
+		Scores:       scores,
+	}
+}
+
+// BenchmarkFleetSearch measures one full hierarchical placement search —
+// 1000 applications, 4000 units, 5000 hosts sharded into 50 cells, with
+// a cross-cell exchange phase — per iteration. This is the fleet-scale
+// path a flat search cannot cover in comparable time.
+func BenchmarkFleetSearch(b *testing.B) {
+	req := benchFleetSearchRequest()
+	cfg := placement.Config{Iterations: 200, Restarts: 1, Cells: 50, ExchangeIters: 500}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)

@@ -15,18 +15,20 @@ go build ./...
 go build -o /dev/null ./cmd/interfd ./cmd/loadgen ./cmd/benchdiff
 echo "== go test -race (incl. internal/obs + cmd/interfd handler tests) =="
 go test -race ./...
-echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim/measure/app/drift/experiments/serve) =="
-# The parallel placement search, the fault plan, the measurement batch
-# engine, the drift tracker, the experiment goldens (including the
-# seeded drift scenario), and the placement service (whose responses
-# must be pure functions of request content even under concurrent
-# admission and batching) must be pure functions of the seed; run their
-# packages twice uncached so nondeterminism across runs is caught.
-# internal/measure's batch tests hammer one Env from many goroutines under
-# the race detector, and internal/serve's do the same to one Service.
+echo "== go test -race -count=2 (determinism: placement/core/profile/fault/sim/measure/app/drift/experiments/serve/fleet/cluster) =="
+# The parallel placement search (flat and cell-sharded), the fault plan,
+# the measurement batch engine, the drift tracker, the experiment goldens
+# (including the seeded drift and fleet scenarios), the placement service
+# (whose responses must be pure functions of request content even under
+# concurrent admission and batching), and the fleet generator must be
+# pure functions of the seed; run their packages twice uncached so
+# nondeterminism across runs is caught. internal/measure's batch tests
+# hammer one Env from many goroutines under the race detector, and
+# internal/serve's do the same to one Service.
 go test -race -count=2 ./internal/placement ./internal/core ./internal/profile \
   ./internal/fault ./internal/sim ./internal/measure ./internal/app \
-  ./internal/drift ./internal/experiments ./internal/serve
+  ./internal/drift ./internal/experiments ./internal/serve \
+  ./internal/fleet ./internal/cluster
 
 echo "== fuzz smoke (10s per target) =="
 # Short exploratory runs of the committed fuzz targets; the committed
@@ -36,6 +38,8 @@ go test -run '^$' -fuzz '^FuzzSetProv$' -fuzztime 10s ./internal/profile
 go test -run '^$' -fuzz '^FuzzHeteroPolicies$' -fuzztime 10s ./internal/hetero
 go test -run '^$' -fuzz '^FuzzDeltaPredictIdxEquivalence$' -fuzztime 10s ./internal/core
 go test -run '^$' -fuzz '^FuzzQuantile$' -fuzztime 10s ./internal/telemetry
+go test -run '^$' -fuzz '^FuzzFleetSpec$' -fuzztime 10s ./internal/fleet
+go test -run '^$' -fuzz '^FuzzCellPartition$' -fuzztime 10s ./internal/cluster
 
 echo "== loadgen smoke (deterministic placement-service reports) =="
 # End-to-end determinism contract of the serving plane over real HTTP:
@@ -110,7 +114,7 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   # they are the benchmarks this repository optimises, so they may not
   # quietly erode behind the generous whole-suite threshold.
   go run ./cmd/benchdiff -quiet -threshold "${BENCH_HOT_THRESHOLD:-30}" \
-    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkDeltaPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve,BenchmarkPlaceRequest,BenchmarkAdmissionQueue \
+    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkDeltaPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve,BenchmarkPlaceRequest,BenchmarkAdmissionQueue,BenchmarkFleetSearch,BenchmarkFleetGen \
     BENCH_telemetry.json "$fresh"
 fi
 

@@ -41,6 +41,8 @@ func main() {
 		goal        = flag.String("goal", "best", "search goal: best or worst")
 		iters       = flag.Int("iters", 4000, "annealing iterations")
 		restarts    = flag.Int("restarts", 0, "independent annealing restarts, run in parallel (0 = search default)")
+		cells       = flag.Int("cells", 0, "shard hosts into this many cells for the hierarchical search (0/1 = flat)")
+		exchange    = flag.Int("exchange", 0, "cross-cell exchange proposals after the cell phase (0 = iters; needs -cells > 1)")
 		units       = flag.Int("units", 4, "units per application")
 		naive       = flag.Bool("naive", false, "drive the search with the naive proportional model")
 		seed        = flag.Int64("seed", 1, "experiment seed")
@@ -148,6 +150,8 @@ func main() {
 	if *restarts > 0 {
 		pcfg.Restarts = *restarts
 	}
+	pcfg.Cells = *cells
+	pcfg.ExchangeIters = *exchange
 	pcfg.Telemetry = reg
 	pcfg.Tracer = tracer
 	pcfg.OnProgress = func(s placement.ProgressSample) {

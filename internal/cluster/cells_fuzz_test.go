@@ -1,0 +1,60 @@
+package cluster
+
+import "testing"
+
+// FuzzCellPartition pins the partition invariants for arbitrary
+// (numHosts, cells) pairs: the partition always covers every host exactly
+// once, every cell is non-empty, the cell count is clamped to [1,
+// numHosts] for positive fleets, cells are contiguous and balanced
+// (sizes differ by at most one), and non-positive fleets yield no cells.
+func FuzzCellPartition(f *testing.F) {
+	f.Add(8, 2)
+	f.Add(1, 1)
+	f.Add(3, 9)
+	f.Add(5000, 50)
+	f.Add(7, 0)
+	f.Add(0, 3)
+	f.Add(-5, -5)
+	f.Fuzz(func(t *testing.T, numHosts, cells int) {
+		if numHosts > 1<<20 {
+			// Real fleets top out at a million hosts (fleet.MaxHosts);
+			// beyond that the harness would just be allocating memory.
+			return
+		}
+		got := Partition(numHosts, cells)
+		if numHosts <= 0 {
+			if got != nil {
+				t.Fatalf("Partition(%d, %d) = %v, want nil", numHosts, cells, got)
+			}
+			return
+		}
+		if len(got) < 1 || len(got) > numHosts {
+			t.Fatalf("Partition(%d, %d) produced %d cells, want within [1, %d]", numHosts, cells, len(got), numHosts)
+		}
+		if cells >= 1 && cells <= numHosts && len(got) != cells {
+			t.Fatalf("Partition(%d, %d) produced %d cells, want exactly %d (no clamp needed)", numHosts, cells, len(got), cells)
+		}
+		if err := CheckPartition(numHosts, got); err != nil {
+			t.Fatalf("Partition(%d, %d): %v", numHosts, cells, err)
+		}
+		minSize, maxSize := numHosts, 0
+		prev := -1
+		for _, cell := range got {
+			if len(cell) < minSize {
+				minSize = len(cell)
+			}
+			if len(cell) > maxSize {
+				maxSize = len(cell)
+			}
+			for _, h := range cell {
+				if h != prev+1 {
+					t.Fatalf("Partition(%d, %d) not contiguous at host %d (prev %d)", numHosts, cells, h, prev)
+				}
+				prev = h
+			}
+		}
+		if maxSize-minSize > 1 {
+			t.Fatalf("Partition(%d, %d) unbalanced: sizes span [%d, %d]", numHosts, cells, minSize, maxSize)
+		}
+	})
+}

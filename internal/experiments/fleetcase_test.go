@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestGoldenFleet pins the fleet scenario's rendered report: the
+// template composition, the flat-vs-hierarchical comparison, and the
+// cell occupancy are all byte-deterministic at the fixed quick-mode
+// seed — the determinism contract of both fleet.Generate and the
+// hierarchical search, observed end to end.
+func TestGoldenFleet(t *testing.T) {
+	out, err := quickLab(t).Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleet", out)
+}
+
+// TestFleetGoldenDetectsTemplatePerturbation: nudging a single template
+// weight reshapes the apportionment and therefore the whole report — the
+// golden comparison must notice.
+func TestFleetGoldenDetectsTemplatePerturbation(t *testing.T) {
+	if *update {
+		t.Skip("perturbation check is meaningless while rewriting goldens")
+	}
+	want, err := os.ReadFile(goldenPath("fleet"))
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	spec := fleetSpec()
+	spec.Templates[0].Weight += 5
+	out, err := quickLab(t).fleetWith(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal([]byte(out.Render()), want) {
+		t.Error("a one-template weight perturbation went undetected by the golden comparison")
+	}
+}
+
+// TestFleetRunner checks the scenario's semantics beyond byte equality:
+// the runner is reachable by ID, both search arms fill the comparison
+// table, and the hierarchical placement's occupancy sums to the demand.
+func TestFleetRunner(t *testing.T) {
+	if _, err := RunnerByID("fleet"); err != nil {
+		t.Fatalf("fleet runner unreachable: %v", err)
+	}
+	out, err := quickLab(t).Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 3 {
+		t.Fatalf("fleet report has %d tables, want 3", len(out.Tables))
+	}
+	cmp := out.Tables[1]
+	if cmp.Rows() != 2 {
+		t.Fatalf("comparison table has %d rows, want 2 (flat, hierarchical)", cmp.Rows())
+	}
+	occ := out.Tables[2]
+	if occ.Rows() != fleetCells {
+		t.Fatalf("occupancy table has %d rows, want %d cells", occ.Rows(), fleetCells)
+	}
+	placed, hosts := 0, 0
+	for r := 0; r < occ.Rows(); r++ {
+		hosts += int(cellFloat(t, occ, r, 1))
+		placed += int(cellFloat(t, occ, r, 2))
+	}
+	if hosts != fleetSpec().TotalHosts {
+		t.Errorf("occupancy covers %d hosts, want %d", hosts, fleetSpec().TotalHosts)
+	}
+	req := fleetRequest(fleetSpec(), 2016, 16)
+	if want := totalUnits(req.Demands); placed != want {
+		t.Errorf("hierarchical placement holds %d units, demands total %d", placed, want)
+	}
+}

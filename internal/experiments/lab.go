@@ -311,6 +311,7 @@ func ExtraRunners() []Runner {
 		{"energy", (*Lab).Energy},
 		{"faults", (*Lab).FaultInjection},
 		{"drift", (*Lab).Drift},
+		{"fleet", (*Lab).Fleet},
 	}
 }
 

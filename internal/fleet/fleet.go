@@ -1,0 +1,360 @@
+// Package fleet generates large consolidated clusters from weighted
+// node-class templates, breaking the paper's 8-lab-node / 32-EC2-node
+// ceiling: a Spec names a handful of host classes (relative weight or
+// explicit count, compute capacity, interference degrade factor, staged
+// startup rounds) and Generate expands it deterministically into a
+// 1000-5000-host fleet the placement layer can shard into cells.
+//
+// Determinism is the package's contract: the same Spec and seed produce a
+// byte-identical Fleet (same class assignment per host index, same
+// startup rounds, same Digest), so fleets can stand in for recorded
+// cluster inventories in golden tests, property tests, and benchmarks.
+// Host counts per class come from explicit counts plus largest-remainder
+// apportionment of the weighted remainder — pure arithmetic, no draws —
+// and only the class-to-host-index shuffle consumes randomness, from a
+// dedicated seeded stream.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/contention"
+	"repro/internal/sim"
+)
+
+// MaxHosts bounds fleet size: a million hosts is far beyond any target
+// deployment and keeps arbitrary (fuzzed) specs from turning into
+// allocation bombs.
+const MaxHosts = 1 << 20
+
+// MaxStartupRounds bounds a template's staged-startup ramp.
+const MaxStartupRounds = 1 << 16
+
+// MaxWeight bounds a template's relative weight. Weights are shares, not
+// magnitudes; the bound keeps the apportionment arithmetic (weight sums,
+// quota products) comfortably inside float64 for any template count.
+const MaxWeight = 1e9
+
+// Template is one node class of a fleet spec.
+type Template struct {
+	// Name identifies the class (unique within a spec).
+	Name string `json:"name"`
+	// Weight is the class's relative share of the hosts left after
+	// explicit counts are honoured. Classes with Count > 0 may leave
+	// Weight zero.
+	Weight float64 `json:"weight,omitempty"`
+	// Count pins an exact number of hosts to this class, taken before
+	// weighted apportionment.
+	Count int `json:"count,omitempty"`
+	// Slots is the unit slots per host of this class; 0 inherits the
+	// spec default. cluster.Placement grids are rectangular, so every
+	// resolved class must agree on the slot count — Validate enforces it.
+	Slots int `json:"slots,omitempty"`
+	// Capacity is the class's relative compute capacity (1 = the paper's
+	// baseline host); 0 defaults to 1.
+	Capacity float64 `json:"capacity,omitempty"`
+	// DegradeFactor is the class's interference degrade multiplier
+	// (>= 1; 0 defaults to 1): how much worse this class amplifies
+	// co-runner pressure, the fleet analogue of fault.NodeDegrade.
+	DegradeFactor float64 `json:"degrade_factor,omitempty"`
+	// StartupRounds staggers the class's hosts over this many placement
+	// rounds (linear ramp); 0 or 1 starts every host at round 0.
+	StartupRounds int `json:"startup_rounds,omitempty"`
+}
+
+// Spec is a deterministic fleet description.
+type Spec struct {
+	Name         string     `json:"name"`
+	TotalHosts   int        `json:"total_hosts"`
+	SlotsPerHost int        `json:"slots_per_host"`
+	Templates    []Template `json:"templates"`
+	// Net parameters of the fleet interconnect; zero values inherit the
+	// paper's 10 GbE defaults.
+	NetLatencyUs float64 `json:"net_latency_us,omitempty"`
+	NetBWGbps    float64 `json:"net_bw_gbps,omitempty"`
+}
+
+// Validate reports whether the spec can be generated. Every error is
+// detected up front so Generate itself cannot fail on a validated spec.
+func (s Spec) Validate() error {
+	if s.TotalHosts <= 0 {
+		return errors.New("fleet: non-positive total hosts")
+	}
+	if s.TotalHosts > MaxHosts {
+		return fmt.Errorf("fleet: %d hosts exceeds the %d-host bound", s.TotalHosts, MaxHosts)
+	}
+	if s.SlotsPerHost <= 0 {
+		return errors.New("fleet: non-positive slots per host")
+	}
+	if len(s.Templates) == 0 {
+		return errors.New("fleet: no templates")
+	}
+	if s.NetLatencyUs < 0 || math.IsNaN(s.NetLatencyUs) || math.IsInf(s.NetLatencyUs, 0) {
+		return fmt.Errorf("fleet: bad net latency %v", s.NetLatencyUs)
+	}
+	if s.NetBWGbps < 0 || math.IsNaN(s.NetBWGbps) || math.IsInf(s.NetBWGbps, 0) {
+		return fmt.Errorf("fleet: bad net bandwidth %v", s.NetBWGbps)
+	}
+	seen := map[string]bool{}
+	counted, weightSum := 0, 0.0
+	for i, t := range s.Templates {
+		if t.Name == "" {
+			return fmt.Errorf("fleet: template %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("fleet: duplicate template %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Count < 0 {
+			return fmt.Errorf("fleet: template %q has negative count", t.Name)
+		}
+		if t.Weight < 0 || t.Weight > MaxWeight || math.IsNaN(t.Weight) {
+			return fmt.Errorf("fleet: template %q has bad weight %v (want within [0, %g])", t.Name, t.Weight, float64(MaxWeight))
+		}
+		if t.Count == 0 && t.Weight == 0 {
+			return fmt.Errorf("fleet: template %q has neither count nor weight", t.Name)
+		}
+		if t.Slots < 0 {
+			return fmt.Errorf("fleet: template %q has negative slots", t.Name)
+		}
+		if slots := t.resolveSlots(s.SlotsPerHost); slots != s.SlotsPerHost {
+			return fmt.Errorf("fleet: template %q wants %d slots per host but the fleet grid has %d (placements are rectangular)",
+				t.Name, slots, s.SlotsPerHost)
+		}
+		if c := t.ResolveCapacity(); c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("fleet: template %q has bad capacity %v", t.Name, t.Capacity)
+		}
+		if d := t.ResolveDegrade(); d < 1 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("fleet: template %q has bad degrade factor %v (want >= 1)", t.Name, t.DegradeFactor)
+		}
+		if t.StartupRounds < 0 || t.StartupRounds > MaxStartupRounds {
+			return fmt.Errorf("fleet: template %q has bad startup rounds %d", t.Name, t.StartupRounds)
+		}
+		counted += t.Count
+		weightSum += t.Weight
+	}
+	if counted > s.TotalHosts {
+		return fmt.Errorf("fleet: explicit counts total %d hosts but the fleet has %d", counted, s.TotalHosts)
+	}
+	if counted < s.TotalHosts && weightSum <= 0 {
+		return fmt.Errorf("fleet: %d hosts left after explicit counts but no weighted template to absorb them",
+			s.TotalHosts-counted)
+	}
+	return nil
+}
+
+func (t Template) resolveSlots(def int) int {
+	if t.Slots == 0 {
+		return def
+	}
+	return t.Slots
+}
+
+// ResolveCapacity returns the template capacity with the default of 1
+// applied.
+func (t Template) ResolveCapacity() float64 {
+	if t.Capacity == 0 {
+		return 1
+	}
+	return t.Capacity
+}
+
+// ResolveDegrade returns the template degrade factor with the default of
+// 1 (no degradation) applied.
+func (t Template) ResolveDegrade() float64 {
+	if t.DegradeFactor == 0 {
+		return 1
+	}
+	return t.DegradeFactor
+}
+
+// Host is one generated host: its class and the class's resolved
+// attributes, plus the round at which it joins the cluster.
+type Host struct {
+	Class        string  `json:"class"`
+	Capacity     float64 `json:"capacity"`
+	Degrade      float64 `json:"degrade"`
+	StartupRound int     `json:"startup_round"`
+}
+
+// Fleet is a generated cluster inventory: one Host per index, plus the
+// spec and seed that produced it.
+type Fleet struct {
+	Spec  Spec   `json:"spec"`
+	Seed  int64  `json:"seed"`
+	Hosts []Host `json:"hosts"`
+}
+
+// Apportion resolves the per-template host counts of a spec without
+// generating hosts: explicit counts first, then largest-remainder
+// apportionment of what is left across the weighted templates (ties go
+// to the earlier template). The result is pure arithmetic — no draws —
+// and sums to exactly TotalHosts for any validated spec.
+func Apportion(s Spec) ([]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(s.Templates))
+	remainder := s.TotalHosts
+	weightSum := 0.0
+	for i, t := range s.Templates {
+		counts[i] = t.Count
+		remainder -= t.Count
+		weightSum += t.Weight
+	}
+	if remainder == 0 || weightSum <= 0 {
+		return counts, nil
+	}
+	type frac struct {
+		idx  int
+		part float64
+	}
+	fracs := make([]frac, 0, len(s.Templates))
+	given := 0
+	for i, t := range s.Templates {
+		if t.Weight == 0 {
+			continue
+		}
+		quota := float64(remainder) * t.Weight / weightSum
+		base := int(math.Floor(quota))
+		counts[i] += base
+		given += base
+		fracs = append(fracs, frac{idx: i, part: quota - float64(base)})
+	}
+	// Hand the leftover hosts to the largest fractional parts; on ties the
+	// earlier template wins. A simple selection pass keeps this
+	// deterministic without sorting trickery.
+	for given < remainder {
+		best := -1
+		for j := range fracs {
+			if fracs[j].part < 0 {
+				continue
+			}
+			if best < 0 || fracs[j].part > fracs[best].part {
+				best = j
+			}
+		}
+		counts[fracs[best].idx]++
+		fracs[best].part = -1
+		given++
+	}
+	return counts, nil
+}
+
+// Generate expands a spec into a fleet. The same spec and seed always
+// produce a byte-identical fleet; different seeds shuffle the
+// class-to-host assignment differently (with more than one class).
+func Generate(s Spec, seed int64) (*Fleet, error) {
+	counts, err := Apportion(s)
+	if err != nil {
+		return nil, err
+	}
+	// Expand classes in template order, then shuffle host assignment with
+	// a dedicated stream so fleets interleave classes the way a real
+	// inventory does instead of in template-sorted blocks.
+	classOf := make([]int, 0, s.TotalHosts)
+	for i, n := range counts {
+		for j := 0; j < n; j++ {
+			classOf = append(classOf, i)
+		}
+	}
+	rng := sim.NewRNG(seed).Stream("fleet-gen")
+	rng.Shuffle(len(classOf), func(i, j int) { classOf[i], classOf[j] = classOf[j], classOf[i] })
+
+	f := &Fleet{Spec: s, Seed: seed, Hosts: make([]Host, s.TotalHosts)}
+	// Staged startup: the k-th host of a class (in host-index order) joins
+	// at round floor(k*R/n) — a linear ramp over the class's
+	// StartupRounds, finishing by round R-1.
+	classSeen := make([]int, len(s.Templates))
+	for h, ci := range classOf {
+		t := s.Templates[ci]
+		round := 0
+		if t.StartupRounds > 1 && counts[ci] > 0 {
+			round = classSeen[ci] * t.StartupRounds / counts[ci]
+		}
+		classSeen[ci]++
+		f.Hosts[h] = Host{
+			Class:        t.Name,
+			Capacity:     t.ResolveCapacity(),
+			Degrade:      t.ResolveDegrade(),
+			StartupRound: round,
+		}
+	}
+	return f, nil
+}
+
+// Cluster returns the fleet as a cluster.Cluster (the placement and
+// measurement layers' cluster handle). Host heterogeneity (capacity,
+// degrade) rides on the Fleet itself; the cluster handle carries the
+// dimensions and interconnect.
+func (f *Fleet) Cluster() cluster.Cluster {
+	c := cluster.Cluster{
+		HostSpec:     contention.DefaultNode(),
+		NumHosts:     len(f.Hosts),
+		NetLatencyUs: f.Spec.NetLatencyUs,
+		NetBWGbps:    f.Spec.NetBWGbps,
+	}
+	if c.NetLatencyUs == 0 {
+		c.NetLatencyUs = 30
+	}
+	if c.NetBWGbps == 0 {
+		c.NetBWGbps = 10
+	}
+	return c
+}
+
+// Cells partitions the fleet's hosts into n cells (clamped to the fleet
+// size) for the hierarchical placement search.
+func (f *Fleet) Cells(n int) [][]int {
+	return cluster.Partition(len(f.Hosts), n)
+}
+
+// DownAt returns the hosts that have not yet joined by the given round
+// (ascending host order) — the staged-startup view the placement layer
+// consumes as Request.DownHosts. Round numbers at or past every class's
+// ramp return nil: the whole fleet is up.
+func (f *Fleet) DownAt(round int) []int {
+	var down []int
+	for h := range f.Hosts {
+		if f.Hosts[h].StartupRound > round {
+			down = append(down, h)
+		}
+	}
+	return down
+}
+
+// ClassCounts returns the host count per template, in template order.
+func (f *Fleet) ClassCounts() []int {
+	idx := make(map[string]int, len(f.Spec.Templates))
+	for i, t := range f.Spec.Templates {
+		idx[t.Name] = i
+	}
+	counts := make([]int, len(f.Spec.Templates))
+	for i := range f.Hosts {
+		counts[idx[f.Hosts[i].Class]]++
+	}
+	return counts
+}
+
+// Slots returns the fleet's total unit-slot capacity.
+func (f *Fleet) Slots() int { return len(f.Hosts) * f.Spec.SlotsPerHost }
+
+// Digest is a 64-bit FNV-1a hash of the fleet's canonical JSON encoding
+// — the byte-identity handle the determinism tests and golden reports
+// pin. Two fleets are byte-identical iff their digests match (up to hash
+// collisions) because the encoding has no map-ordered or pointer-derived
+// content.
+func (f *Fleet) Digest() (string, error) {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}

@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// testSpec is a 3-class, 120-host fleet exercising weights, explicit
+// counts, degrade factors, and staged startup.
+func testSpec() Spec {
+	return Spec{
+		Name:         "test",
+		TotalHosts:   120,
+		SlotsPerHost: 2,
+		Templates: []Template{
+			{Name: "core", Weight: 60, Capacity: 1.0},
+			{Name: "burst", Weight: 30, DegradeFactor: 1.2, StartupRounds: 3},
+			{Name: "legacy", Count: 12, Capacity: 0.8, DegradeFactor: 1.5, StartupRounds: 2},
+		},
+	}
+}
+
+// TestGenerateDeterministic: the fleet-generation contract — same spec
+// and seed give byte-identical fleets; a different seed gives a
+// different class assignment.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Error("same spec + seed produced different fleets")
+	}
+	da, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Errorf("digests differ on identical fleets: %s vs %s", da, db)
+	}
+	c, err := Generate(testSpec(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := c.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == da {
+		t.Error("different seeds produced identical fleets")
+	}
+	// Seeds only move hosts between classes, never the class totals.
+	ca, cc := a.ClassCounts(), c.ClassCounts()
+	for i := range ca {
+		if ca[i] != cc[i] {
+			t.Errorf("class %d count differs across seeds: %d vs %d", i, ca[i], cc[i])
+		}
+	}
+}
+
+func TestApportionment(t *testing.T) {
+	counts, err := Apportion(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 hosts pinned to legacy; 108 split 60:30 -> 72:36.
+	want := []int{72, 36, 12}
+	total := 0
+	for i, n := range counts {
+		if n != want[i] {
+			t.Errorf("template %d: %d hosts, want %d", i, n, want[i])
+		}
+		total += n
+	}
+	if total != 120 {
+		t.Errorf("apportioned %d hosts, want 120", total)
+	}
+
+	// Largest remainder: 10 hosts at weights 1:1:1 -> 4,3,3 (earlier
+	// templates win the tie).
+	s := Spec{
+		TotalHosts: 10, SlotsPerHost: 2,
+		Templates: []Template{
+			{Name: "a", Weight: 1}, {Name: "b", Weight: 1}, {Name: "c", Weight: 1},
+		},
+	}
+	counts, err = Apportion(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 4 || counts[1] != 3 || counts[2] != 3 {
+		t.Errorf("1:1:1 over 10 hosts gave %v, want [4 3 3]", counts)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero hosts", func(s *Spec) { s.TotalHosts = 0 }},
+		{"over max hosts", func(s *Spec) { s.TotalHosts = MaxHosts + 1 }},
+		{"zero slots", func(s *Spec) { s.SlotsPerHost = 0 }},
+		{"no templates", func(s *Spec) { s.Templates = nil }},
+		{"unnamed template", func(s *Spec) { s.Templates[0].Name = "" }},
+		{"duplicate template", func(s *Spec) { s.Templates[1].Name = s.Templates[0].Name }},
+		{"negative weight", func(s *Spec) { s.Templates[0].Weight = -1 }},
+		{"weight over bound", func(s *Spec) { s.Templates[0].Weight = 2 * MaxWeight }},
+		{"no weight or count", func(s *Spec) { s.Templates[0].Weight = 0 }},
+		{"negative count", func(s *Spec) { s.Templates[2].Count = -1 }},
+		{"counts exceed fleet", func(s *Spec) { s.Templates[2].Count = 500 }},
+		{"mismatched slots", func(s *Spec) { s.Templates[0].Slots = 4 }},
+		{"negative capacity", func(s *Spec) { s.Templates[0].Capacity = -2 }},
+		{"degrade below one", func(s *Spec) { s.Templates[1].DegradeFactor = 0.5 }},
+		{"negative startup", func(s *Spec) { s.Templates[1].StartupRounds = -1 }},
+		{"startup over bound", func(s *Spec) { s.Templates[1].StartupRounds = MaxStartupRounds + 1 }},
+		{"negative latency", func(s *Spec) { s.NetLatencyUs = -1 }},
+		{"all counted, none weighted, hosts left", func(s *Spec) {
+			s.Templates = []Template{{Name: "only", Count: 5}}
+		}},
+	}
+	for _, c := range cases {
+		s := testSpec()
+		c.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: spec accepted", c.name)
+		}
+	}
+	ok := testSpec()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("base spec rejected: %v", err)
+	}
+	// Matching per-template slots are fine.
+	ok.Templates[0].Slots = 2
+	if err := ok.Validate(); err != nil {
+		t.Errorf("matching template slots rejected: %v", err)
+	}
+}
+
+// TestStagedStartup: DownAt shrinks monotonically round over round, every
+// host eventually joins, and classes without a ramp are up at round 0.
+func TestStagedStartup(t *testing.T) {
+	f, err := Generate(testSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := len(f.Hosts) + 1
+	maxRound := 0
+	for _, h := range f.Hosts {
+		if h.StartupRound > maxRound {
+			maxRound = h.StartupRound
+		}
+		if h.Class == "core" && h.StartupRound != 0 {
+			t.Errorf("core host has startup round %d, want 0 (no ramp)", h.StartupRound)
+		}
+	}
+	if maxRound == 0 {
+		t.Fatal("no host was staged despite StartupRounds > 1 templates")
+	}
+	for round := 0; round <= maxRound; round++ {
+		down := f.DownAt(round)
+		if len(down) >= prev {
+			t.Errorf("round %d: %d hosts down, want fewer than %d (monotone ramp)", round, len(down), prev)
+		}
+		for i := 1; i < len(down); i++ {
+			if down[i] <= down[i-1] {
+				t.Fatalf("DownAt(%d) not ascending: %v", round, down)
+			}
+		}
+		prev = len(down)
+	}
+	if got := f.DownAt(maxRound); got != nil {
+		t.Errorf("round %d should have the whole fleet up, got %d down", maxRound, len(got))
+	}
+}
+
+func TestClusterHandle(t *testing.T) {
+	f, err := Generate(testSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cluster()
+	if c.NumHosts != 120 {
+		t.Errorf("cluster hosts = %d, want 120", c.NumHosts)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("generated cluster invalid: %v", err)
+	}
+	if c.NetLatencyUs != 30 || c.NetBWGbps != 10 {
+		t.Errorf("net defaults not applied: %v us, %v Gbps", c.NetLatencyUs, c.NetBWGbps)
+	}
+	if f.Slots() != 240 {
+		t.Errorf("slots = %d, want 240", f.Slots())
+	}
+	cells := f.Cells(6)
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(cells))
+	}
+}

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFleetSpec throws arbitrary JSON at the spec pipeline: anything that
+// unmarshals either fails validation with an error or generates a valid,
+// capacity-consistent fleet — no panics, no partially-filled inventories.
+// Generated fleets must be internally consistent (every host carries a
+// known class with the class's resolved attributes, class counts match
+// the deterministic apportionment, slot capacity is exactly hosts x
+// slots) and regeneration from the same spec and seed must be
+// byte-identical.
+func FuzzFleetSpec(f *testing.F) {
+	seeds := []string{
+		`{"name":"tiny","total_hosts":4,"slots_per_host":2,"templates":[{"name":"a","weight":1}]}`,
+		`{"name":"mixed","total_hosts":100,"slots_per_host":2,"templates":[
+			{"name":"core","weight":60,"capacity":1.0},
+			{"name":"burst","weight":30,"degrade_factor":1.2,"startup_rounds":4},
+			{"name":"legacy","count":10,"capacity":0.8,"startup_rounds":2}]}`,
+		`{"name":"counted","total_hosts":6,"slots_per_host":3,"templates":[
+			{"name":"x","count":6,"slots":3}]}`,
+		`{"total_hosts":-1,"slots_per_host":2,"templates":[{"name":"a","weight":1}]}`,
+		`{"total_hosts":8,"slots_per_host":2,"templates":[{"name":"a","weight":1e308},{"name":"b","weight":1e308}]}`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), int64(1))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		if spec.TotalHosts > 1<<14 {
+			// Valid but huge: correctness is covered at small sizes, and
+			// the harness shouldn't spend its budget allocating hosts.
+			spec.TotalHosts = 1 << 14
+		}
+		if err := spec.Validate(); err != nil {
+			// Rejected specs must also be rejected by Generate, not
+			// half-processed.
+			if _, gerr := Generate(spec, seed); gerr == nil {
+				t.Fatalf("Validate rejected the spec (%v) but Generate accepted it", err)
+			}
+			return
+		}
+		fl, err := Generate(spec, seed)
+		if err != nil {
+			t.Fatalf("validated spec failed to generate: %v", err)
+		}
+		if len(fl.Hosts) != spec.TotalHosts {
+			t.Fatalf("generated %d hosts, want %d", len(fl.Hosts), spec.TotalHosts)
+		}
+		if fl.Slots() != spec.TotalHosts*spec.SlotsPerHost {
+			t.Fatalf("slot capacity %d, want %d", fl.Slots(), spec.TotalHosts*spec.SlotsPerHost)
+		}
+		byName := map[string]Template{}
+		for _, tpl := range spec.Templates {
+			byName[tpl.Name] = tpl
+		}
+		for h, host := range fl.Hosts {
+			tpl, ok := byName[host.Class]
+			if !ok {
+				t.Fatalf("host %d carries unknown class %q", h, host.Class)
+			}
+			if host.Capacity != tpl.ResolveCapacity() || host.Degrade != tpl.ResolveDegrade() {
+				t.Fatalf("host %d attributes (%v, %v) diverge from class %q (%v, %v)",
+					h, host.Capacity, host.Degrade, host.Class, tpl.ResolveCapacity(), tpl.ResolveDegrade())
+			}
+			if host.StartupRound < 0 || host.StartupRound >= maxInt(tpl.StartupRounds, 1) {
+				t.Fatalf("host %d startup round %d outside [0, %d)", h, host.StartupRound, maxInt(tpl.StartupRounds, 1))
+			}
+		}
+		counts, err := Apportion(spec)
+		if err != nil {
+			t.Fatalf("apportionment failed after generation succeeded: %v", err)
+		}
+		got := fl.ClassCounts()
+		total := 0
+		for i := range counts {
+			if got[i] != counts[i] {
+				t.Fatalf("class %d has %d hosts, apportionment says %d", i, got[i], counts[i])
+			}
+			total += counts[i]
+		}
+		if total != spec.TotalHosts {
+			t.Fatalf("apportionment sums to %d, want %d", total, spec.TotalHosts)
+		}
+		if err := fl.Cluster().Validate(); err != nil {
+			t.Fatalf("generated cluster handle invalid: %v", err)
+		}
+		// Regeneration determinism.
+		again, err := Generate(spec, seed)
+		if err != nil {
+			t.Fatalf("regeneration failed: %v", err)
+		}
+		d1, err := fl.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := again.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("same spec + seed produced different fleets: %s vs %s", d1, d2)
+		}
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

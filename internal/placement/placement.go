@@ -146,6 +146,21 @@ type Config struct {
 	QoS        *QoS // optional QoS constraint (only meaningful with Best)
 	Restarts   int  // independent restarts (default 3)
 
+	// Cells shards the request's hosts into this many contiguous cells
+	// for the fleet-scale hierarchical search: demands are spread across
+	// cells by free capacity, each cell anneals independently (its own
+	// restarts, in parallel), and a cross-cell exchange phase then swaps
+	// units between cells through the same incremental delta/undo
+	// machinery, merged deterministically in cell order. 0 or 1 runs the
+	// flat single-list search, bit-identical to the pre-cell engine.
+	// The hierarchical path reports aggregate telemetry counters only —
+	// no per-step convergence series or OnProgress samples.
+	Cells int
+	// ExchangeIters is the number of cross-cell exchange proposals run
+	// after the cell phase (hierarchical search only; 0 defaults to
+	// Iterations). Setting it with Cells <= 1 is a validation error.
+	ExchangeIters int
+
 	// Telemetry, when non-nil, receives the search counters, acceptance
 	// rate, and the convergence series named by the Metric* constants
 	// (one sample per temperature step). Tracer, when non-nil, receives
@@ -190,6 +205,11 @@ const (
 	MetricPredCacheMisses        = "placement_prediction_cache_misses_total"
 	MetricPredCacheCombineHits   = "placement_prediction_cache_combine_hits_total"
 	MetricPredCacheCombineMisses = "placement_prediction_cache_combine_misses_total"
+	// Hierarchical (cell-sharded) search: the cell count in use and the
+	// cross-cell exchange phase's proposal traffic.
+	MetricCells             = "placement_cells"
+	MetricExchangeProposals = "placement_exchange_proposals_total"
+	MetricExchangeAccepted  = "placement_exchange_accepted_total"
 	// SeriesTemperature and SeriesBestObjective are convergence series:
 	// x is the global step index across restarts, y the temperature and
 	// the best objective seen so far, respectively.
@@ -345,9 +365,28 @@ func Search(req Request, cfg Config) (Result, error) {
 		}
 	}
 
+	// Reject nonsensical cell configurations up front rather than letting
+	// them surface as partition panics or silently-ignored knobs.
+	if cfg.Cells < 0 {
+		return Result{}, fmt.Errorf("placement: negative cell count %d", cfg.Cells)
+	}
+	if cfg.Cells > req.NumHosts {
+		return Result{}, fmt.Errorf("placement: %d cells exceed %d hosts", cfg.Cells, req.NumHosts)
+	}
+	if cfg.ExchangeIters < 0 {
+		return Result{}, fmt.Errorf("placement: negative exchange iterations %d", cfg.ExchangeIters)
+	}
+	if cfg.ExchangeIters > 0 && cfg.Cells <= 1 {
+		return Result{}, errors.New("placement: exchange iterations require Cells > 1 (there is no cross-cell phase in the flat search)")
+	}
+
 	sign := 1.0
 	if cfg.Goal == Worst {
 		sign = -1
+	}
+
+	if cfg.Cells > 1 {
+		return searchHierarchical(req, cfg, sign)
 	}
 
 	rng := sim.NewRNG(cfg.Seed).Stream("placement")
