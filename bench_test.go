@@ -22,6 +22,7 @@ package interference
 //	BenchmarkFigure13 - EC2 validation errors
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -438,9 +439,13 @@ func BenchmarkFleetGen(b *testing.B) {
 // units on the 5000-host fleet, with cheap synthetic predictors so the
 // benchmark isolates the search machinery.
 func benchFleetSearchRequest() placement.Request {
-	spec := benchFleetSpec()
+	return benchFleetRequestN(benchFleetSpec().TotalHosts, 1000)
+}
+
+// benchFleetRequestN is benchFleetSearchRequest at an arbitrary scale:
+// n apps x 4 units on hosts two-slot hosts.
+func benchFleetRequestN(hosts, n int) placement.Request {
 	rng := sim.NewRNG(9).Stream("bench-fleet-apps")
-	n := 1000
 	demands := make([]cluster.Demand, 0, n)
 	predictors := make(map[string]core.Predictor, n)
 	scores := make(map[string]float64, n)
@@ -458,8 +463,8 @@ func benchFleetSearchRequest() placement.Request {
 		scores[app] = 0.5 + 5.5*rng.Float64()
 	}
 	return placement.Request{
-		NumHosts:     spec.TotalHosts,
-		SlotsPerHost: spec.SlotsPerHost,
+		NumHosts:     hosts,
+		SlotsPerHost: 2,
 		Demands:      demands,
 		Predictors:   predictors,
 		Scores:       scores,
@@ -472,7 +477,23 @@ func benchFleetSearchRequest() placement.Request {
 // path a flat search cannot cover in comparable time.
 func BenchmarkFleetSearch(b *testing.B) {
 	req := benchFleetSearchRequest()
-	cfg := placement.Config{Iterations: 200, Restarts: 1, Cells: 50, ExchangeIters: 500}
+	cfg := placement.Config{Iterations: 200, Restarts: 1, Cells: 50, ExchangeIters: 500, ExchangeWorkers: runtime.GOMAXPROCS(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := placement.Search(req, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetSearchXL doubles every axis of BenchmarkFleetSearch —
+// 2000 applications, 8000 units, 10000 hosts in 100 cells — to catch
+// super-linear regressions the base benchmark's scale would hide.
+func BenchmarkFleetSearchXL(b *testing.B) {
+	req := benchFleetRequestN(10000, 2000)
+	cfg := placement.Config{Iterations: 200, Restarts: 1, Cells: 100, ExchangeIters: 500, ExchangeWorkers: runtime.GOMAXPROCS(0)}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -37,6 +37,7 @@ go test -run '^$' -fuzz '^FuzzMatrixAt$' -fuzztime 10s ./internal/profile
 go test -run '^$' -fuzz '^FuzzSetProv$' -fuzztime 10s ./internal/profile
 go test -run '^$' -fuzz '^FuzzHeteroPolicies$' -fuzztime 10s ./internal/hetero
 go test -run '^$' -fuzz '^FuzzDeltaPredictIdxEquivalence$' -fuzztime 10s ./internal/core
+go test -run '^$' -fuzz '^FuzzDeltaPredictPosEquivalence$' -fuzztime 10s ./internal/core
 go test -run '^$' -fuzz '^FuzzQuantile$' -fuzztime 10s ./internal/telemetry
 go test -run '^$' -fuzz '^FuzzFleetSpec$' -fuzztime 10s ./internal/fleet
 go test -run '^$' -fuzz '^FuzzCellPartition$' -fuzztime 10s ./internal/cluster
@@ -114,7 +115,7 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   # they are the benchmarks this repository optimises, so they may not
   # quietly erode behind the generous whole-suite threshold.
   go run ./cmd/benchdiff -quiet -threshold "${BENCH_HOT_THRESHOLD:-30}" \
-    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkDeltaPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve,BenchmarkPlaceRequest,BenchmarkAdmissionQueue,BenchmarkFleetSearch,BenchmarkFleetGen \
+    -only BenchmarkPlacementSearch,BenchmarkModelPredict,BenchmarkDeltaPredict,BenchmarkMeasureBatch,BenchmarkTable3,BenchmarkTable6,BenchmarkFigure12,BenchmarkDriftTrackerObserve,BenchmarkPlaceRequest,BenchmarkAdmissionQueue,BenchmarkFleetSearch,BenchmarkFleetSearchXL,BenchmarkFleetGen \
     BENCH_telemetry.json "$fresh"
 fi
 

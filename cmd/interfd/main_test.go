@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/schedule"
 	"repro/internal/telemetry"
 )
@@ -224,5 +225,50 @@ func TestDaemonBoundedRounds(t *testing.T) {
 	}
 	if rep.Metrics.Counters[schedule.MetricJobsCompleted] == 0 {
 		t.Error("no jobs completed across the bounded run")
+	}
+}
+
+// TestDaemonSpeculativeExchangeTelemetry runs bounded rounds with the
+// hierarchical search in speculative mode and checks the exchange-phase
+// telemetry — proposals, accepted, conflicts, batch occupancy — lands in
+// the final RunReport.
+func TestDaemonSpeculativeExchangeTelemetry(t *testing.T) {
+	_, cancel, errCh, reportPath := startTestDaemon(t, func(c *daemonConfig) {
+		c.rounds = 2
+		c.searchCells = 4
+		c.searchExWorkers = 4
+	})
+	defer cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("bounded daemon never finished")
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	var rep telemetry.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Metrics.Counters[placement.MetricExchangeProposals]; got == 0 {
+		t.Error("no exchange proposals recorded in the report")
+	}
+	if _, ok := rep.Metrics.Counters[placement.MetricExchangeAccepted]; !ok {
+		t.Errorf("%s missing from the report", placement.MetricExchangeAccepted)
+	}
+	if _, ok := rep.Metrics.Counters[placement.MetricExchangeConflicts]; !ok {
+		t.Errorf("%s missing from the report", placement.MetricExchangeConflicts)
+	}
+	occ, ok := rep.Metrics.Gauges[placement.MetricExchangeBatchOccupancy]
+	if !ok {
+		t.Fatalf("%s missing from the report", placement.MetricExchangeBatchOccupancy)
+	}
+	if occ < 0 || occ > 1 {
+		t.Errorf("batch occupancy %v outside [0, 1]", occ)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -41,8 +42,9 @@ func main() {
 		goal        = flag.String("goal", "best", "search goal: best or worst")
 		iters       = flag.Int("iters", 4000, "annealing iterations")
 		restarts    = flag.Int("restarts", 0, "independent annealing restarts, run in parallel (0 = search default)")
-		cells       = flag.Int("cells", 0, "shard hosts into this many cells for the hierarchical search (0/1 = flat)")
-		exchange    = flag.Int("exchange", 0, "cross-cell exchange proposals after the cell phase (0 = iters; needs -cells > 1)")
+		cells       = flag.Int("cells", 0, "shard hosts into this many cells for the hierarchical search (0 = size adaptively from the host count, 1 = flat)")
+		exchange    = flag.Int("exchange", 0, "cross-cell exchange proposals after the cell phase (0 = iters; needs cells > 1)")
+		exWorkers   = flag.Int("exchange-workers", 0, "speculative exchange evaluators (0/1 = serial; >1 needs cells > 1)")
 		units       = flag.Int("units", 4, "units per application")
 		naive       = flag.Bool("naive", false, "drive the search with the naive proportional model")
 		seed        = flag.Int64("seed", 1, "experiment seed")
@@ -151,7 +153,11 @@ func main() {
 		pcfg.Restarts = *restarts
 	}
 	pcfg.Cells = *cells
+	if *cells == 0 {
+		pcfg.Cells = placement.AdaptiveCells(req.NumHosts, runtime.GOMAXPROCS(0))
+	}
 	pcfg.ExchangeIters = *exchange
+	pcfg.ExchangeWorkers = *exWorkers
 	pcfg.Telemetry = reg
 	pcfg.Tracer = tracer
 	pcfg.OnProgress = func(s placement.ProgressSample) {

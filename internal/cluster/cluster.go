@@ -89,9 +89,14 @@ func NewPlacementLimit(numHosts, slotsPerHost, appsLimit int) (*Placement, error
 	if appsLimit < 0 {
 		return nil, errors.New("cluster: negative apps-per-host limit")
 	}
+	// One backing array for all rows: a fleet-scale placement is two
+	// allocations instead of numHosts+1, which the search's clone and
+	// random-init paths feel directly. Rows are full-capacity slices, so
+	// no append can ever bleed across a row boundary.
+	backing := make([]string, numHosts*slotsPerHost)
 	s := make([][]string, numHosts)
 	for i := range s {
-		s[i] = make([]string, slotsPerHost)
+		s[i] = backing[i*slotsPerHost : (i+1)*slotsPerHost : (i+1)*slotsPerHost]
 	}
 	return &Placement{NumHosts: numHosts, HostSlots: slotsPerHost, appsLimit: appsLimit, slots: s}, nil
 }

@@ -183,6 +183,14 @@ func (t *floatKeyTable) putW(h uint64, app int32, kw []uint64, v float64) {
 	}
 }
 
+// reset empties the table, keeping the slot array and arena capacity
+// for reuse.
+func (t *floatKeyTable) reset() {
+	clear(t.entries)
+	t.arena = t.arena[:0]
+	t.n = 0
+}
+
 // grow doubles the slot array (min 64) and rehashes in place; the key
 // arena is untouched, entries just carry their offsets across.
 func (t *floatKeyTable) grow() {
@@ -251,6 +259,29 @@ type PredictionCache struct {
 // NewPredictionCache returns an empty cache.
 func NewPredictionCache() *PredictionCache {
 	return &PredictionCache{ids: map[string]int32{}}
+}
+
+// Reset empties the cache, keeping every table, arena, and scratch
+// buffer's capacity — the pooling primitive that lets one allocation's
+// worth of memo storage serve many searches. Contents never carry
+// across a Reset: the indexed-path memos (c1, ptW) are keyed by dense
+// app indexes that are only meaningful under a single AppsIndex
+// binding, so reuse across bindings must start empty. Because every
+// memoized value is a pure function of its key, starting empty changes
+// no result — only the hit/miss counters.
+func (c *PredictionCache) Reset() {
+	if c == nil {
+		return
+	}
+	clear(c.ids)
+	c.pt.reset()
+	c.ct.reset()
+	c.ptW.reset()
+	c.c1 = c.c1[:0]
+	c.c1ok = c.c1ok[:0]
+	c.cEmpty, c.cEmptyOK = 0, false
+	c.hits, c.misses = 0, 0
+	c.combineHits, c.combineMisses = 0, 0
 }
 
 // intern returns the dense ID for app, assigning the next one on first

@@ -110,6 +110,24 @@ func (g *Grid) Row(h int) []int32 {
 	return g.cells[h*g.SlotsPerHost : (h+1)*g.SlotsPerHost]
 }
 
+// Cell returns the app index at flat position i (-1 when empty).
+func (g *Grid) Cell(i int) int32 { return g.cells[i] }
+
+// AppendCells appends the full cell array to dst and returns it — the
+// allocation-free snapshot primitive behind the search's best-state
+// bookkeeping.
+func (g *Grid) AppendCells(dst []int32) []int32 {
+	return append(dst, g.cells...)
+}
+
+// CopyFrom makes g an independent copy of src, reusing capacity. The
+// speculative exchange workers resynchronize their grids from the
+// authoritative state once per batch with this.
+func (g *Grid) CopyFrom(src *Grid) {
+	g.Hosts, g.SlotsPerHost = src.Hosts, src.SlotsPerHost
+	g.cells = append(g.cells[:0], src.cells...)
+}
+
 // DeltaPredictIdx is DeltaPredict over the indexed mirror: affected
 // lists dense app indexes, out is indexed the same way, and the hot
 // loop is int32 scans plus float64 slice loads — no string hashing.

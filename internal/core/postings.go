@@ -1,0 +1,263 @@
+// Per-app unit postings: the delta-prediction scan was the last
+// full-grid walk left in the placement hot loop — appendPressuresIdx
+// and appendPressuresPair visit every cell of the cluster to find the
+// handful of slots an affected app occupies, which at fleet scale
+// (thousands of hosts, a few units per app) is ~99% wasted loads.
+// Postings keeps, for each dense app index, the sorted list of flat
+// grid positions its units occupy, maintained incrementally under the
+// same Swap calls that keep the Grid in sync. Positions ascend, and a
+// flat position ordering is exactly the host-major/slot-minor scan
+// order of the full-grid walk, so the pressure vectors built from a
+// postings walk are bit-identical to the scan path's — same elements,
+// same order, same CombineScores inputs.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Postings maps each dense app index to the ascending flat grid
+// positions (host*SlotsPerHost+slot) of its units. Swaps conserve each
+// app's unit count, so the segment layout is fixed for a whole search:
+// app i's positions live in pos[off[i]:off[i+1]], and a swap only
+// rewrites values inside the two touched segments.
+type Postings struct {
+	off []int32 // segment starts, len = napps+1
+	pos []int32 // flat positions, ascending within each segment
+	cur []int32 // build scratch (per-app fill cursors)
+}
+
+// NewPostings builds the postings of g over napps dense app indexes.
+// Every non-negative cell value must be < napps.
+func NewPostings(g *Grid, napps int) *Postings {
+	p := &Postings{}
+	p.Rebuild(g, napps)
+	return p
+}
+
+// Rebuild recomputes the postings from scratch, reusing capacity.
+func (p *Postings) Rebuild(g *Grid, napps int) {
+	if cap(p.off) >= napps+1 {
+		p.off = p.off[:napps+1]
+	} else {
+		p.off = make([]int32, napps+1)
+	}
+	for i := range p.off {
+		p.off[i] = 0
+	}
+	for _, id := range g.cells {
+		if id >= 0 {
+			p.off[id+1]++
+		}
+	}
+	for i := 1; i <= napps; i++ {
+		p.off[i] += p.off[i-1]
+	}
+	total := int(p.off[napps])
+	if cap(p.pos) >= total {
+		p.pos = p.pos[:total]
+	} else {
+		p.pos = make([]int32, total)
+	}
+	if cap(p.cur) >= napps {
+		p.cur = p.cur[:napps]
+	} else {
+		p.cur = make([]int32, napps)
+	}
+	copy(p.cur, p.off[:napps])
+	for c, id := range g.cells {
+		if id < 0 {
+			continue
+		}
+		p.pos[p.cur[id]] = int32(c)
+		p.cur[id]++
+	}
+}
+
+// CopyFrom makes p an independent copy of src, reusing capacity. The
+// speculative exchange workers resynchronize their engines from the
+// authoritative state once per batch with this.
+func (p *Postings) CopyFrom(src *Postings) {
+	p.off = append(p.off[:0], src.off...)
+	p.pos = append(p.pos[:0], src.pos...)
+}
+
+// seg returns app id's position segment.
+func (p *Postings) seg(id int32) []int32 {
+	return p.pos[p.off[id]:p.off[id+1]]
+}
+
+// Units returns the unit count of app id.
+func (p *Postings) Units(id int32) int {
+	return int(p.off[id+1] - p.off[id])
+}
+
+// Swap updates the postings after g.Swap(hostA, slotA, hostB, slotB)
+// has already been applied to the mirrored grid — call order is grid
+// first, postings second, for both apply and undo (the update is its
+// own inverse under the reversed grid state).
+func (p *Postings) Swap(g *Grid, hostA, slotA, hostB, slotB int) {
+	i := int32(hostA*g.SlotsPerHost + slotA)
+	j := int32(hostB*g.SlotsPerHost + slotB)
+	if i == j {
+		return
+	}
+	// Post-swap, cell j holds what was at i and vice versa.
+	a, b := g.cells[j], g.cells[i]
+	if a == b {
+		return
+	}
+	if a >= 0 {
+		p.move(a, i, j)
+	}
+	if b >= 0 {
+		p.move(b, j, i)
+	}
+}
+
+// move replaces position from with to inside app's segment and restores
+// ascending order by bubbling — segments hold one entry per unit, so
+// this is a handful of compares for any realistic demand.
+func (p *Postings) move(app, from, to int32) {
+	seg := p.seg(app)
+	k := 0
+	for seg[k] != from {
+		k++
+	}
+	seg[k] = to
+	for k+1 < len(seg) && seg[k] > seg[k+1] {
+		seg[k], seg[k+1] = seg[k+1], seg[k]
+		k++
+	}
+	for k > 0 && seg[k] < seg[k-1] {
+		seg[k], seg[k-1] = seg[k-1], seg[k]
+		k--
+	}
+}
+
+// DeltaPredictPos is DeltaPredictIdx driven by postings instead of
+// full-grid scans: each affected app's pressure vector is built by
+// walking its own unit positions (ascending flat position = host-major
+// scan order), so outputs are bit-identical to DeltaPredictIdx while
+// the per-app cost drops from O(cluster) to O(units). pst must mirror
+// g; cache may be nil (plain prediction, generic path only).
+func DeltaPredictPos(g *Grid, pst *Postings, affected []int32, ix *AppsIndex, cache *PredictionCache, out []float64) error {
+	if g == nil {
+		return errors.New("core: nil grid")
+	}
+	if pst == nil {
+		return errors.New("core: nil postings")
+	}
+	if out == nil {
+		return errors.New("core: nil prediction slice")
+	}
+	if cache != nil && g.SlotsPerHost == 2 {
+		for _, id := range affected {
+			ps, kw, h, err := appendPressuresPairPos(g, pst, id, ix, cache)
+			if err != nil {
+				return err
+			}
+			key := -1 - id
+			if v, ok := cache.ptW.getW(h, key, kw); ok {
+				cache.hits++
+				out[id] = v
+				continue
+			}
+			v, err := ix.preds[id].PredictPressures(ps)
+			if err != nil {
+				return err
+			}
+			cache.ptW.putW(h, key, kw, v)
+			cache.misses++
+			out[id] = v
+		}
+		return nil
+	}
+	for _, id := range affected {
+		ps, err := appendPressuresPos(g, pst, id, ix, cache)
+		if err != nil {
+			return err
+		}
+		v, err := cache.PredictIdx(id, ix.preds[id], ps)
+		if err != nil {
+			return err
+		}
+		out[id] = v
+	}
+	return nil
+}
+
+// appendPressuresPairPos is appendPressuresPair over postings: with two
+// slots per host, position p's sole co-runner slot is p^1. A host
+// carrying the app in both slots contributes position 2h then 2h+1 —
+// co-runners a1 then a0 — exactly the pair scan's emission order.
+func appendPressuresPairPos(g *Grid, pst *Postings, id int32, ix *AppsIndex, cache *PredictionCache) ([]float64, []uint64, uint64, error) {
+	out := cache.ps[:0]
+	kw := cache.kw[:0]
+	h := uint64(uint32(-1-id)) ^ 0x9e3779b97f4a7c15
+	cells := g.cells
+	seg := pst.seg(id)
+	for _, p := range seg {
+		other := cells[p^1]
+		v, err := combinedOf(cache, ix, other)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		out = append(out, v)
+		w := uint64(uint32(other)) + 2
+		kw = append(kw, w)
+		h = (h ^ w) * 0x9ddfea08eb382d69
+	}
+	if len(out) == 0 {
+		return nil, nil, 0, fmt.Errorf("core: app %q not in placement", ix.Apps[id])
+	}
+	cache.ps, cache.kw = out, kw
+	return out, kw, mix64(h), nil
+}
+
+// appendPressuresPos is appendPressuresIdx over postings: same per-unit
+// co-runner walk (slot order, skipping self and empties), driven by the
+// app's own positions instead of a full-grid scan.
+func appendPressuresPos(g *Grid, pst *Postings, id int32, ix *AppsIndex, cache *PredictionCache) ([]float64, error) {
+	var out, co []float64
+	if cache != nil {
+		out, co = cache.ps[:0], cache.co[:0]
+	}
+	sph := g.SlotsPerHost
+	cells := g.cells
+	for _, pi := range pst.seg(id) {
+		p := int(pi)
+		s := p % sph
+		base := p - s
+		row := cells[base : base+sph]
+		co = co[:0]
+		single := int32(-1)
+		for o := range row {
+			if o == s {
+				continue
+			}
+			other := row[o]
+			if other < 0 {
+				continue
+			}
+			if !ix.ok[other] {
+				return nil, fmt.Errorf("core: no bubble score for %q", ix.Apps[other])
+			}
+			single = other
+			co = append(co, ix.scores[other])
+		}
+		combined, err := cache.combineIdx(co, single)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, combined)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: app %q not in placement", ix.Apps[id])
+	}
+	if cache != nil {
+		cache.ps, cache.co = out, co
+	}
+	return out, nil
+}

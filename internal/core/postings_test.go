@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// checkPostings verifies the incremental postings invariants against a
+// from-scratch rebuild: identical segment layout and positions (which
+// implies per-segment ascending order, since Rebuild emits scan order).
+func checkPostings(t testing.TB, tag string, g *Grid, pst *Postings, napps int) {
+	t.Helper()
+	fresh := NewPostings(g, napps)
+	if len(fresh.off) != len(pst.off) || len(fresh.pos) != len(pst.pos) {
+		t.Fatalf("%s: postings shape drifted: off %d/%d pos %d/%d", tag, len(pst.off), len(fresh.off), len(pst.pos), len(fresh.pos))
+	}
+	for i := range fresh.off {
+		if fresh.off[i] != pst.off[i] {
+			t.Fatalf("%s: off[%d] = %d, want %d", tag, i, pst.off[i], fresh.off[i])
+		}
+	}
+	for i := range fresh.pos {
+		if fresh.pos[i] != pst.pos[i] {
+			t.Fatalf("%s: pos[%d] = %d, want %d (rebuild)", tag, i, pst.pos[i], fresh.pos[i])
+		}
+	}
+}
+
+// TestDeltaPredictPosEquivalence drives random placements and swap
+// sequences through the postings path and the full-scan indexed path,
+// demanding bit-identical predictions at every step, and checks the
+// incremental Swap maintenance against a from-scratch Rebuild. Covers
+// the pairwise layout (2 slots), the generic layout (3 slots), and the
+// nil-cache generic path.
+func TestDeltaPredictPosEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, sph := range []int{2, 3} {
+			testPosEquivalence(t, seed, sph, seed%3 == 2)
+		}
+	}
+}
+
+func testPosEquivalence(t testing.TB, seed int64, sph int, nilCache bool) {
+	demands := []cluster.Demand{
+		{App: "a", Units: 3}, {App: "b", Units: 4},
+		{App: "c\x00c", Units: 4}, {App: "d", Units: 2},
+	}
+	limit := 0
+	if sph != 2 {
+		limit = sph
+	}
+	hosts := 7
+	p, err := cluster.RandomValidLimit(sim.NewRNG(seed), hosts, sph, limit, demands, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[string]float64{"a": 0.5, "b": 0.5, "c\x00c": 6, "d": 2}
+	preds := map[string]Predictor{
+		"a": sumPred{0.3}, "b": sumPred{0.01}, "c\x00c": sumPred{0.02}, "d": sumPred{0.05},
+	}
+	ix, g, all, out := idxFixture(t, p, preds, scores)
+	pst := NewPostings(g, len(ix.Apps))
+
+	idxCache := NewPredictionCache()
+	posCache := NewPredictionCache()
+	if nilCache {
+		idxCache, posCache = nil, nil
+	}
+	want := make([]float64, len(all))
+
+	check := func(tag string) {
+		t.Helper()
+		checkPostings(t, tag, g, pst, len(ix.Apps))
+		for i := range ix.Apps {
+			if u := pst.Units(int32(i)); u != p.UnitsOf(ix.Apps[i]) {
+				t.Fatalf("%s: Units(%s) = %d, want %d", tag, ix.Apps[i], u, p.UnitsOf(ix.Apps[i]))
+			}
+		}
+		if err := DeltaPredictIdx(g, all, ix, idxCache, want); err != nil {
+			t.Fatalf("%s: scan path: %v", tag, err)
+		}
+		if err := DeltaPredictPos(g, pst, all, ix, posCache, out); err != nil {
+			t.Fatalf("%s: postings path: %v", tag, err)
+		}
+		for i, a := range ix.Apps {
+			if out[i] != want[i] {
+				t.Fatalf("%s: app %s = %v via postings, want %v (bit-exact)", tag, a, out[i], want[i])
+			}
+		}
+	}
+	check(fmt.Sprintf("seed=%d sph=%d cold", seed, sph))
+
+	rng := sim.NewRNG(seed + 1000)
+	slots := hosts * sph
+	for step := 0; step < 60; step++ {
+		a, b := rng.Intn(slots), rng.Intn(slots)
+		ha, sa := a/sph, a%sph
+		hb, sb := b/sph, b%sph
+		if p.At(ha, sa) == p.At(hb, sb) {
+			continue
+		}
+		if err := p.Swap(ha, sa, hb, sb); err != nil {
+			t.Fatal(err)
+		}
+		if p.ValidateHosts(ha, hb) != nil {
+			if err := p.Swap(ha, sa, hb, sb); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		g.Swap(ha, sa, hb, sb)
+		pst.Swap(g, ha, sa, hb, sb)
+		check(fmt.Sprintf("seed=%d sph=%d step=%d", seed, sph, step))
+
+		// Undo must restore the postings exactly (the exchange engine
+		// leans on swap/undo symmetry for rejected proposals).
+		g.Swap(ha, sa, hb, sb)
+		pst.Swap(g, ha, sa, hb, sb)
+		checkPostings(t, fmt.Sprintf("seed=%d sph=%d step=%d undo", seed, sph, step), g, pst, len(ix.Apps))
+		g.Swap(ha, sa, hb, sb)
+		pst.Swap(g, ha, sa, hb, sb)
+	}
+
+	// CopyFrom must produce an independent, identical mirror.
+	var cp Postings
+	cp.CopyFrom(pst)
+	checkPostings(t, "copy", g, &cp, len(ix.Apps))
+	cp.pos[0] = -99
+	checkPostings(t, "copy-independent", g, pst, len(ix.Apps))
+}
+
+// FuzzDeltaPredictPosEquivalence is the fuzz form of the postings
+// equivalence property.
+func FuzzDeltaPredictPosEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(2), false)
+	f.Add(int64(2), uint8(3), false)
+	f.Add(int64(3), uint8(2), true)
+	f.Fuzz(func(t *testing.T, seed int64, sphRaw uint8, nilCache bool) {
+		sph := 2 + int(sphRaw%3)
+		testPosEquivalence(t, seed, sph, nilCache)
+	})
+}

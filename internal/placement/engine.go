@@ -1,23 +1,47 @@
 // The incremental evaluation engine behind Search. A swap proposal
 // touches at most two hosts, so instead of cloning the placement and
 // re-predicting every application from scratch, each restart keeps a
-// per-app prediction map, applies the swap in place, re-predicts only
-// the applications with units on the touched hosts (core.DeltaPredict,
-// memoized by core.PredictionCache), and undoes the swap on rejection.
-// Restarts are independent — each draws from its own StreamN("restart",
-// i) RNG — so they run one goroutine each and are merged in restart
-// order, making the result bit-identical to a serial sweep.
+// per-app prediction slice, applies the swap in place, re-predicts only
+// the applications with units on the touched hosts (core.DeltaPredictPos
+// over per-app unit postings, memoized by core.PredictionCache), and
+// undoes the swap on rejection. Restarts are independent — each draws
+// from its own StreamN("restart", i) RNG — so they run one goroutine
+// each and are merged in restart order, making the result bit-identical
+// to a serial sweep.
+//
+// Best-so-far states are kept compact: instead of cloning the
+// cluster.Placement and building a fresh prediction map on every
+// improvement (at fleet scale that clone was ~3/4 of the whole search's
+// allocations), an improvement memcpys the int32 grid and the
+// prediction slice into reusable buffers, and only the winning state is
+// materialized into a Placement + map once, after the merge.
 
 package placement
 
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
+
+// cachePool recycles PredictionCache storage (open-addressed tables,
+// key arenas, scratch buffers) across restarts, cells, and searches.
+// Every acquire starts from an empty cache — memo contents are keyed by
+// dense app indexes that only mean something under one AppsIndex
+// binding — so pooling reuses capacity, never values, and cannot
+// perturb a trajectory.
+var cachePool = sync.Pool{New: func() any { return core.NewPredictionCache() }}
+
+func acquireCache() *core.PredictionCache { return cachePool.Get().(*core.PredictionCache) }
+
+func releaseCache(c *core.PredictionCache) {
+	c.Reset()
+	cachePool.Put(c)
+}
 
 // bestSnap is the comparable skeleton of a best-so-far Result, recorded
 // per step so multi-restart telemetry can be replayed in serial order.
@@ -31,12 +55,64 @@ type bestSnap struct {
 // the top of the step (before the step's proposal is processed).
 type stepEmit func(it int, temp float64, bs bestSnap)
 
-// restartOutcome is everything one restart produces: its local best, the
-// counters a serial instrumented run would have accumulated, and (when
-// recording) the per-step best snapshots for deterministic replay.
+// bestState is the compact best-so-far record of one search loop: the
+// objective/feasibility skeleton plus raw grid cells and predictions,
+// copied into reusable buffers on each improvement. materialize builds
+// the public Result (Placement + prediction map) from it exactly once.
+type bestState struct {
+	have         bool
+	obj          float64
+	qosOK        bool
+	apps         []string // engine's app universe (shared, read-only)
+	hosts, slots int
+	cells        []int32
+	pred         []float64
+}
+
+// note records the engine's current state as the new best.
+func (b *bestState) note(e *incEval, obj float64, qosOK bool) {
+	b.have, b.obj, b.qosOK = true, obj, qosOK
+	b.apps = e.apps
+	b.hosts, b.slots = e.grid.Hosts, e.grid.SlotsPerHost
+	b.cells = e.grid.AppendCells(b.cells[:0])
+	b.pred = append(b.pred[:0], e.pred...)
+}
+
+// snap returns the comparable skeleton.
+func (b *bestState) snap() bestSnap { return bestSnap{obj: b.obj, qosOK: b.qosOK} }
+
+// materialize builds the Result for the recorded state. appsLimit is
+// the request's per-host distinct-app limit (the materialized placement
+// must carry the same limit a cloned search placement would have).
+func (b *bestState) materialize(appsLimit int) (Result, error) {
+	if !b.have {
+		return Result{}, errors.New("placement: no best state recorded")
+	}
+	p, err := cluster.NewPlacementLimit(b.hosts, b.slots, appsLimit)
+	if err != nil {
+		return Result{}, err
+	}
+	for c, id := range b.cells {
+		if id < 0 {
+			continue
+		}
+		if err := p.Set(c/b.slots, c%b.slots, b.apps[id]); err != nil {
+			return Result{}, err
+		}
+	}
+	pred := make(map[string]float64, len(b.apps))
+	for i, a := range b.apps {
+		pred[a] = b.pred[i]
+	}
+	return Result{Placement: p, Predicted: pred, Objective: b.obj, QoSSatisfied: b.qosOK}, nil
+}
+
+// restartOutcome is everything one restart produces: its compact local
+// best, the counters a serial instrumented run would have accumulated,
+// and (when recording) the per-step best snapshots for deterministic
+// replay.
 type restartOutcome struct {
-	best      Result
-	have      bool
+	bs        bestState
 	evals     int
 	proposals uint64
 	accepted  uint64
@@ -51,25 +127,11 @@ type restartOutcome struct {
 	err       error
 }
 
-// betterResult reports whether cand should replace best under the
+// betterSnap reports whether cand should replace best under the
 // search's acceptance order: feasibility first when a QoS constraint is
 // active, then strict objective improvement in the goal's direction.
 // Ties keep the incumbent, which is what makes restart-order merging
 // bit-identical to a serial sweep.
-func betterResult(qosEnabled bool, sign float64, cand Result, best Result, haveBest bool) bool {
-	switch {
-	case !haveBest:
-		return true
-	case qosEnabled && cand.QoSSatisfied && !best.QoSSatisfied:
-		return true
-	case qosEnabled && !cand.QoSSatisfied && best.QoSSatisfied:
-		return false
-	default:
-		return sign*cand.Objective < sign*best.Objective
-	}
-}
-
-// betterSnap is betterResult over the recorded skeletons.
 func betterSnap(qosEnabled bool, sign float64, cand, best bestSnap) bool {
 	switch {
 	case qosEnabled && cand.qosOK && !best.qosOK:
@@ -85,8 +147,9 @@ func betterSnap(qosEnabled bool, sign float64, cand, best bestSnap) bool {
 // per-app prediction slice, a candidate mirror, and the memo cache. The
 // app list is fixed for the whole search (swaps conserve units), so
 // apps bind to dense indexes once (core.AppsIndex) and the placement
-// mirrors into an int32 grid the swap loop keeps in sync — the
-// per-proposal path never hashes a string. The weighted objective is
+// mirrors into an int32 grid — plus per-app unit postings — that the
+// swap loop keeps in sync; the per-proposal path never hashes a string
+// and never scans the full cluster. The weighted objective is
 // accumulated in the same sorted-app order as Objective —
 // bit-identical to a full evaluate.
 type incEval struct {
@@ -97,9 +160,10 @@ type incEval struct {
 	units  []float64 // parallel to apps
 	weight float64   // total units, accumulated in apps order
 	ix     *core.AppsIndex
-	grid   *core.Grid // int32 mirror of the search's placement
-	pred   []float64  // predictions for the current state, by app index
-	cand   []float64  // mirror of pred with the proposal's deltas
+	grid   *core.Grid     // int32 mirror of the search's placement
+	pst    *core.Postings // per-app unit positions, in lockstep with grid
+	pred   []float64      // predictions for the current state, by app index
+	cand   []float64      // mirror of pred with the proposal's deltas
 	cache  *core.PredictionCache
 	// pending proposal scratch: the touched apps and the grid swap to
 	// undo on reject.
@@ -109,7 +173,9 @@ type incEval struct {
 }
 
 // newIncEval fully predicts the initial placement (seeding the memo
-// cache) and fixes the app/unit weights and index binding.
+// cache) and fixes the app/unit weights and index binding. The cache
+// comes from the shared pool; callers release it via e.release() once
+// they have read its stats.
 func newIncEval(p *cluster.Placement, req Request, qos *QoS) (*incEval, error) {
 	apps := p.Apps()
 	if len(apps) == 0 {
@@ -131,13 +197,17 @@ func newIncEval(p *cluster.Placement, req Request, qos *QoS) (*incEval, error) {
 		units:  make([]float64, len(apps)),
 		ix:     ix,
 		grid:   grid,
+		pst:    core.NewPostings(grid, len(apps)),
 		pred:   make([]float64, len(apps)),
 		cand:   make([]float64, len(apps)),
-		cache:  core.NewPredictionCache(),
+		cache:  acquireCache(),
 	}
 	all := make([]int32, len(apps))
 	for i, a := range apps {
-		w := float64(p.UnitsOf(a))
+		// Unit counts come from the postings built off one grid pass —
+		// the old per-app Placement.UnitsOf full scans were over half the
+		// engine-construction bill at fleet scale.
+		w := float64(e.pst.Units(int32(i)))
 		e.units[i] = w
 		e.weight += w
 		all[i] = int32(i)
@@ -145,11 +215,20 @@ func newIncEval(p *cluster.Placement, req Request, qos *QoS) (*incEval, error) {
 			e.qosIdx = int32(i)
 		}
 	}
-	if err := core.DeltaPredictIdx(grid, all, ix, e.cache, e.pred); err != nil {
+	if err := core.DeltaPredictPos(grid, e.pst, all, ix, e.cache, e.pred); err != nil {
 		return nil, err
 	}
 	copy(e.cand, e.pred)
 	return e, nil
+}
+
+// release returns the engine's cache to the pool. The engine must not
+// be used afterwards.
+func (e *incEval) release() {
+	if e.cache != nil {
+		releaseCache(e.cache)
+		e.cache = nil
+	}
 }
 
 // objective computes the unit-weighted mean of the given predictions in
@@ -183,20 +262,21 @@ func (e *incEval) qosValue() float64 {
 	return e.pred[e.qosIdx]
 }
 
-// evalSwapped scores p, which must already have the pending swap
-// (ha,sa)<->(hb,sb) applied, by replaying the swap onto the grid
-// mirror and re-predicting only the apps with units on the touched
-// hosts. The deltas live in e.cand — and the swap in e.grid — until
-// accept or reject is called (exactly one of which must follow).
-func (e *incEval) evalSwapped(p *cluster.Placement, ha, sa, hb, sb int) (obj, energy float64, err error) {
+// evalSwapped applies the pending swap (ha,sa)<->(hb,sb) to the grid
+// mirror (and postings) and re-predicts only the apps with units on the
+// touched hosts. The deltas live in e.cand — and the swap in
+// e.grid/e.pst — until accept or reject is called (exactly one of which
+// must follow).
+func (e *incEval) evalSwapped(ha, sa, hb, sb int) (obj, energy float64, err error) {
 	e.grid.Swap(ha, sa, hb, sb)
+	e.pst.Swap(e.grid, ha, sa, hb, sb)
 	e.pendHA, e.pendSA, e.pendHB, e.pendSB = ha, sa, hb, sb
 	e.affected = e.affected[:0]
 	e.collectHost(ha)
 	if hb != ha {
 		e.collectHost(hb)
 	}
-	if err := core.DeltaPredictIdx(e.grid, e.affected, e.ix, e.cache, e.cand); err != nil {
+	if err := core.DeltaPredictPos(e.grid, e.pst, e.affected, e.ix, e.cache, e.cand); err != nil {
 		return 0, 0, err
 	}
 	obj = e.objective(e.cand)
@@ -224,7 +304,7 @@ func (e *incEval) collectHost(h int) {
 }
 
 // accept commits the pending proposal's deltas into the current slice
-// (the grid already holds the swapped state).
+// (the grid and postings already hold the swapped state).
 func (e *incEval) accept() {
 	for _, id := range e.affected {
 		e.pred[id] = e.cand[id]
@@ -232,21 +312,13 @@ func (e *incEval) accept() {
 }
 
 // reject rolls the candidate mirror back to the current predictions and
-// undoes the pending swap on the grid mirror.
+// undoes the pending swap on the grid mirror and postings.
 func (e *incEval) reject() {
 	for _, id := range e.affected {
 		e.cand[id] = e.pred[id]
 	}
 	e.grid.Swap(e.pendHA, e.pendSA, e.pendHB, e.pendSB)
-}
-
-// snapshot copies the current predictions for a Result.
-func (e *incEval) snapshot() map[string]float64 {
-	pc := make(map[string]float64, len(e.pred))
-	for i, a := range e.apps {
-		pc[a] = e.pred[i]
-	}
-	return pc
+	e.pst.Swap(e.grid, e.pendHA, e.pendSA, e.pendHB, e.pendSB)
 }
 
 // runRestart executes one independent annealing restart on r. When
@@ -272,17 +344,13 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 	curObj := e.objective(e.pred)
 	curEnergy := e.energy(curObj, e.pred)
 
-	consider := func(p *cluster.Placement, obj float64) {
+	consider := func(obj float64) {
 		qosOK := cfg.QoS == nil || e.qosValue() <= cfg.QoS.MaxNormalized
-		cand := Result{Objective: obj, QoSSatisfied: qosOK}
-		if betterResult(cfg.QoS != nil, sign, cand, o.best, o.have) {
-			cand.Placement = p.Clone()
-			cand.Predicted = e.snapshot()
-			o.best = cand
-			o.have = true
+		if !o.bs.have || betterSnap(cfg.QoS != nil, sign, bestSnap{obj: obj, qosOK: qosOK}, o.bs.snap()) {
+			o.bs.note(e, obj, qosOK)
 		}
 	}
-	consider(cur, curObj)
+	consider(curObj)
 
 	if record {
 		o.bests = make([]bestSnap, cfg.Iterations)
@@ -291,7 +359,7 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 	slots := req.NumHosts * req.SlotsPerHost
 	for it := 0; it < cfg.Iterations; it++ {
 		temp *= cfg.CoolRate
-		bs := bestSnap{obj: o.best.Objective, qosOK: o.best.QoSSatisfied}
+		bs := o.bs.snap()
 		if record {
 			o.bests[it] = bs
 		}
@@ -324,7 +392,7 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 			}
 			continue
 		}
-		candObj, candEnergy, err := e.evalSwapped(cur, ha, sa, hb, sb)
+		candObj, candEnergy, err := e.evalSwapped(ha, sa, hb, sb)
 		if err != nil {
 			o.err = err
 			return o
@@ -340,7 +408,7 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 			o.accepted++
 			e.accept()
 			curObj, curEnergy = candObj, candEnergy
-			consider(cur, curObj)
+			consider(curObj)
 		} else {
 			o.rejected++
 			e.reject()
@@ -353,5 +421,6 @@ func runRestart(req Request, cfg Config, sign float64, r *sim.RNG, record bool, 
 	o.finalTemp = temp
 	o.hits, o.misses = e.cache.Stats()
 	o.chits, o.cmisses = e.cache.CombineStats()
+	e.release()
 	return o
 }

@@ -66,7 +66,7 @@ func TestIncrementalMatchesFullEvaluate(t *testing.T) {
 				}
 				continue
 			}
-			obj, energy, err := e.evalSwapped(cur, ha, sa, hb, sb)
+			obj, energy, err := e.evalSwapped(ha, sa, hb, sb)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,440 @@
+// Deterministic speculative parallel annealing for the cross-cell
+// exchange phase (Config.ExchangeWorkers >= 2).
+//
+// The serial exchange annealer is inherently sequential: proposal i+1's
+// evaluation depends on whether proposal i was accepted. The
+// speculative phase breaks the dependency without giving up
+// determinism, by splitting the randomness and the evaluation:
+//
+//   - Geometry (which cells/hosts/slots to swap) is drawn for a whole
+//     batch of K proposals up front from Stream("exchange"). The draw
+//     schedule depends only on static shape — cell count, host lists,
+//     the down set — never on search state, so the proposal sequence is
+//     a pure function of the seed, identical for every worker count and
+//     batch size.
+//   - Acceptance uniforms come from a second stream,
+//     Stream("exchange-accept"), consumed lazily in commit order (only
+//     when an uphill move needs a Metropolis coin). Commit order is draw
+//     order, so this consumption too is independent of K and N.
+//
+// Workers then evaluate the batch concurrently against a frozen
+// snapshot of the pre-batch state (each worker owns a grid + postings
+// copy and a pooled prediction cache), and the commit loop walks the
+// batch in draw order:
+//
+//   - A proposal is *clean* when no earlier commit in the same batch
+//     dirtied either of its hosts or any of its affected apps. A clean
+//     proposal's speculative predictions are bitwise what an
+//     authoritative evaluation would produce: an app is affected only
+//     through the pressure vectors of its own units, those vectors
+//     change only on dirtied hosts, and every predictor/memo in the
+//     engine is a pure function of the vector bits. Clean results are
+//     therefore committed as-is (the commit loop recomputes only the
+//     full-sum objective, in the same accumulation order as the serial
+//     engine).
+//   - A dirty proposal is re-evaluated serially against the
+//     authoritative engine — counted in
+//     placement_exchange_conflicts_total — so the accepted trajectory
+//     is exactly what a serial annealer running this two-stream draw
+//     discipline would produce.
+//
+// Both the host check and the app check are required: two proposals
+// can touch disjoint hosts while sharing an affected app (its units
+// spread across both pairs), and its speculated prediction would then
+// be stale.
+
+package placement
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// exchangeBatch is K, the number of proposals speculated per round.
+// Larger batches amortize worker synchronization but raise the conflict
+// rate (more commits dirty more hosts before later proposals commit);
+// 32 keeps conflicts in the low percents at fleet-bench acceptance
+// rates. The trajectory does not depend on this value.
+const exchangeBatch = 32
+
+// Speculative proposal verdicts.
+const (
+	exSkip    uint8 = iota // ca == cb: no proposal this iteration
+	exDown    uint8 = iota // touches a crashed host (static verdict)
+	exPending              // awaiting worker evaluation
+	exSame                 // both slots hold the same content (frozen state)
+	exInvalid              // violates the co-location rule (frozen state)
+	exEvaled               // evaluated: aff/val carry the speculative deltas
+	exFailed               // evaluation errored (err carries it)
+)
+
+// exProposal is one drawn proposal plus its speculative result.
+type exProposal struct {
+	ha, sa, hb, sb int
+	kind           uint8
+	aff            []int32   // affected apps (both rows, post-swap, dedup)
+	val            []float64 // speculative predictions, parallel to aff
+	err            error
+}
+
+// exWorker is one speculative evaluator: a private grid + postings
+// mirror resynchronized from the authoritative engine each batch, and a
+// pooled prediction cache that persists across batches (memo contents
+// are pure, so reuse can only save work, never change a result).
+type exWorker struct {
+	grid  *core.Grid
+	pst   *core.Postings
+	cache *core.PredictionCache
+	out   []float64
+}
+
+// evaluate runs one pending proposal against the worker's frozen
+// mirror: apply the swap, judge validity, delta-predict the affected
+// apps, undo. All verdicts and values are functions of the frozen state
+// only.
+func (w *exWorker) evaluate(p *exProposal, ix *core.AppsIndex, limit int) {
+	g := w.grid
+	i := p.ha*g.SlotsPerHost + p.sa
+	j := p.hb*g.SlotsPerHost + p.sb
+	if g.Cell(i) == g.Cell(j) {
+		p.kind = exSame
+		return
+	}
+	g.Swap(p.ha, p.sa, p.hb, p.sb)
+	w.pst.Swap(g, p.ha, p.sa, p.hb, p.sb)
+	defer func() {
+		g.Swap(p.ha, p.sa, p.hb, p.sb)
+		w.pst.Swap(g, p.ha, p.sa, p.hb, p.sb)
+	}()
+	if !gridHostValid(g.Row(p.ha), limit) || !gridHostValid(g.Row(p.hb), limit) {
+		p.kind = exInvalid
+		return
+	}
+	p.aff = collectAffected(g, p.ha, p.hb, p.aff[:0])
+	if err := core.DeltaPredictPos(g, w.pst, p.aff, ix, w.cache, w.out); err != nil {
+		p.err = err
+		p.kind = exFailed
+		return
+	}
+	p.val = p.val[:0]
+	for _, id := range p.aff {
+		p.val = append(p.val, w.out[id])
+	}
+	p.kind = exEvaled
+}
+
+// gridHostValid mirrors cluster.Placement.validateHost on the int32
+// grid: at most limit distinct apps on the row, empties ignored.
+func gridHostValid(row []int32, limit int) bool {
+	n := 0
+	for i, a := range row {
+		if a < 0 {
+			continue
+		}
+		dup := false
+		for _, b := range row[:i] {
+			if b == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n <= limit
+}
+
+// collectAffected appends the distinct apps on rows ha then hb (slot
+// order, first occurrence wins) — the same emission order as
+// incEval.collectHost, so affected sets and their DeltaPredict walk
+// order match the serial engine's exactly.
+func collectAffected(g *core.Grid, ha, hb int, aff []int32) []int32 {
+	for _, row := range [2][]int32{g.Row(ha), g.Row(hb)} {
+		for _, id := range row {
+			if id < 0 {
+				continue
+			}
+			dup := false
+			for _, seen := range aff {
+				if seen == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				aff = append(aff, id)
+			}
+		}
+	}
+	return aff
+}
+
+// exchangePhaseSpec is the speculative parallel exchange phase. The
+// returned counters follow the serial phase's meanings, plus conflicts
+// (serially re-evaluated proposals) and occupancy (mean per-batch
+// fraction of speculative evaluations consumed as-is). Its trajectory —
+// objective, placement, predictions, evaluation count — is a pure
+// function of (Request, Config.Seed): identical for every
+// ExchangeWorkers >= 2. Only the cache hit/miss split varies with the
+// worker count (each worker warms its own memo).
+func exchangePhaseSpec(cur *cluster.Placement, req Request, cfg Config, sign float64, cells [][]int, down map[int]bool) (Result, exchangeOutcome, error) {
+	var o exchangeOutcome
+	e, err := newIncEval(cur, req, cfg.QoS)
+	if err != nil {
+		return Result{}, o, err
+	}
+	o.evals++
+	curObj := e.objective(e.pred)
+	curEnergy := e.energy(curObj, e.pred)
+
+	var bs bestState
+	consider := func(obj float64) {
+		qosOK := cfg.QoS == nil || e.qosValue() <= cfg.QoS.MaxNormalized
+		if !bs.have || betterSnap(cfg.QoS != nil, sign, bestSnap{obj: obj, qosOK: qosOK}, bs.snap()) {
+			bs.note(e, obj, qosOK)
+		}
+	}
+	consider(curObj)
+
+	iters := cfg.ExchangeIters
+	if iters <= 0 {
+		iters = cfg.Iterations
+	}
+	limit := req.AppsPerHostLimit
+	if limit == 0 {
+		limit = cluster.MaxAppsPerHost
+	}
+
+	rg := sim.NewRNG(cfg.Seed).Stream("exchange")
+	ra := sim.NewRNG(cfg.Seed).Stream("exchange-accept")
+	span := cfg.Tracer.StartSpan("placement.exchange")
+	defer span.End()
+
+	nw := cfg.ExchangeWorkers
+	workers := make([]*exWorker, nw)
+	for i := range workers {
+		workers[i] = &exWorker{
+			grid:  &core.Grid{},
+			pst:   &core.Postings{},
+			cache: acquireCache(),
+			out:   make([]float64, len(e.apps)),
+		}
+	}
+	props := make([]exProposal, exchangeBatch)
+	for i := range props {
+		props[i].aff = make([]int32, 0, 2*req.SlotsPerHost)
+		props[i].val = make([]float64, 0, 2*req.SlotsPerHost)
+	}
+	// Dirtiness epochs: hostEp/appEp hold the last batch epoch that
+	// committed a change to the host/app; comparing against the current
+	// epoch makes per-batch clearing free.
+	hostEp := make([]int, req.NumHosts)
+	appEp := make([]int, len(e.apps))
+	ep := 0
+
+	finish := func() {
+		o.hits, o.misses = e.cache.Stats()
+		o.chits, o.cmisses = e.cache.CombineStats()
+		for _, w := range workers {
+			h, m := w.cache.Stats()
+			o.hits += h
+			o.misses += m
+			ch, cm := w.cache.CombineStats()
+			o.chits += ch
+			o.cmisses += cm
+			releaseCache(w.cache)
+		}
+		e.release()
+	}
+
+	temp := cfg.InitTemp
+	cool := math.Pow(1e-3, 1/float64(iters))
+	var batches, occSum float64
+
+	for start := 0; start < iters; start += exchangeBatch {
+		n := iters - start
+		if n > exchangeBatch {
+			n = exchangeBatch
+		}
+		ep++
+		// Draw the batch's geometry up front (see package comment: the
+		// schedule never depends on search state).
+		for k := 0; k < n; k++ {
+			p := &props[k]
+			p.err = nil
+			ca := rg.Intn(len(cells))
+			cb := rg.Intn(len(cells))
+			if ca == cb {
+				p.kind = exSkip
+				continue
+			}
+			p.ha = cells[ca][rg.Intn(len(cells[ca]))]
+			p.hb = cells[cb][rg.Intn(len(cells[cb]))]
+			p.sa = rg.Intn(req.SlotsPerHost)
+			p.sb = rg.Intn(req.SlotsPerHost)
+			if len(down) > 0 && (down[p.ha] || down[p.hb]) {
+				p.kind = exDown
+				continue
+			}
+			p.kind = exPending
+		}
+		// Speculate: workers evaluate a deterministic stripe each
+		// against the frozen pre-batch state.
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := workers[w]
+				wk.grid.CopyFrom(e.grid)
+				wk.pst.CopyFrom(e.pst)
+				for k := w; k < n; k += nw {
+					if props[k].kind == exPending {
+						wk.evaluate(&props[k], e.ix, limit)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		speculated, used := 0, 0
+		for k := 0; k < n; k++ {
+			if props[k].kind == exEvaled {
+				speculated++
+				o.evals++ // every speculative model evaluation counts, used or not
+			}
+		}
+
+		// Commit in draw order.
+		for k := 0; k < n; k++ {
+			temp *= cool
+			p := &props[k]
+			if p.kind == exSkip {
+				continue
+			}
+			if p.kind == exDown {
+				o.invalid++
+				continue
+			}
+			clean := hostEp[p.ha] != ep && hostEp[p.hb] != ep
+			if clean && p.kind == exEvaled {
+				for _, id := range p.aff {
+					if appEp[id] == ep {
+						clean = false
+						break
+					}
+				}
+			}
+			if clean {
+				switch p.kind {
+				case exSame:
+					continue
+				case exInvalid:
+					o.invalid++
+					continue
+				case exFailed:
+					finish()
+					return Result{}, o, p.err
+				}
+				// exEvaled, clean: consume the speculative result.
+				used++
+				o.proposals++
+				for i, id := range p.aff {
+					e.cand[id] = p.val[i]
+				}
+				candObj := e.objective(e.cand)
+				candEnergy := e.energy(candObj, e.cand)
+				delta := sign * (candEnergy - curEnergy)
+				accept := delta <= 0
+				if !accept && cfg.Method == Anneal {
+					accept = ra.Float64() < math.Exp(-delta/math.Max(temp, 1e-9))
+				}
+				if accept {
+					o.accepted++
+					e.grid.Swap(p.ha, p.sa, p.hb, p.sb)
+					e.pst.Swap(e.grid, p.ha, p.sa, p.hb, p.sb)
+					for i, id := range p.aff {
+						e.pred[id] = p.val[i]
+					}
+					hostEp[p.ha], hostEp[p.hb] = ep, ep
+					for _, id := range p.aff {
+						appEp[id] = ep
+					}
+					curObj, curEnergy = candObj, candEnergy
+					consider(curObj)
+				} else {
+					o.rejected++
+					for _, id := range p.aff {
+						e.cand[id] = e.pred[id]
+					}
+				}
+				continue
+			}
+			// Conflict: an earlier commit in this batch dirtied one of
+			// the proposal's hosts or affected apps — its frozen-state
+			// verdict may be stale, so re-run it serially against the
+			// authoritative engine.
+			o.conflicts++
+			fi := p.ha*e.grid.SlotsPerHost + p.sa
+			fj := p.hb*e.grid.SlotsPerHost + p.sb
+			if e.grid.Cell(fi) == e.grid.Cell(fj) {
+				continue
+			}
+			e.grid.Swap(p.ha, p.sa, p.hb, p.sb)
+			e.pst.Swap(e.grid, p.ha, p.sa, p.hb, p.sb)
+			okA := gridHostValid(e.grid.Row(p.ha), limit)
+			okB := gridHostValid(e.grid.Row(p.hb), limit)
+			e.grid.Swap(p.ha, p.sa, p.hb, p.sb)
+			e.pst.Swap(e.grid, p.ha, p.sa, p.hb, p.sb)
+			if !okA || !okB {
+				o.invalid++
+				continue
+			}
+			candObj, candEnergy, err := e.evalSwapped(p.ha, p.sa, p.hb, p.sb)
+			if err != nil {
+				finish()
+				return Result{}, o, err
+			}
+			o.evals++
+			o.proposals++
+			delta := sign * (candEnergy - curEnergy)
+			accept := delta <= 0
+			if !accept && cfg.Method == Anneal {
+				accept = ra.Float64() < math.Exp(-delta/math.Max(temp, 1e-9))
+			}
+			if accept {
+				o.accepted++
+				e.accept()
+				hostEp[p.ha], hostEp[p.hb] = ep, ep
+				for _, id := range e.affected {
+					appEp[id] = ep
+				}
+				curObj, curEnergy = candObj, candEnergy
+				consider(curObj)
+			} else {
+				o.rejected++
+				e.reject()
+			}
+		}
+		if speculated > 0 {
+			batches++
+			occSum += float64(used) / float64(speculated)
+		}
+	}
+	o.finalTemp = temp
+	if batches > 0 {
+		o.occupancy = occSum / batches
+	} else {
+		o.occupancy = 1
+	}
+	finish()
+	best, err := bs.materialize(req.AppsPerHostLimit)
+	if err != nil {
+		return Result{}, o, err
+	}
+	return best, o, nil
+}

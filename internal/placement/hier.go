@@ -5,7 +5,9 @@
 // by free capacity, anneals each cell independently with the existing
 // restart engine, merges the cell placements in cell order, and then runs
 // a cross-cell exchange phase over the merged placement through the same
-// incremental delta/undo machinery (incEval) the flat search uses.
+// incremental delta/undo machinery (incEval) the flat search uses —
+// serially by default, or as deterministic speculative parallel annealing
+// when Config.ExchangeWorkers >= 2 (see exchange.go).
 //
 // Determinism: the demand spread is greedy with lowest-cell-index
 // tie-breaks, each cell's sub-search seed derives from
@@ -20,12 +22,19 @@
 // before its first proposal, so the returned Objective/Predicted are
 // exact full-cluster model evaluations, identical in meaning to the flat
 // search's.
+//
+// The three phases carry runtime/pprof labels (placement_phase =
+// spread / cells / exchange, inherited by the goroutines each phase
+// spawns), so a CPU or heap profile of a fleet search attributes cost
+// per phase directly — scripts/profile.sh captures one.
 
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/cluster"
@@ -43,12 +52,18 @@ type cellOutcome struct {
 // already validated the request, applied config defaults, and checked
 // the cell/exchange knobs; cfg.Cells is > 1 here.
 func searchHierarchical(req Request, cfg Config, sign float64) (Result, error) {
+	ctx := context.Background()
 	cells := cluster.Partition(req.NumHosts, cfg.Cells)
 	if err := cluster.CheckPartition(req.NumHosts, cells); err != nil {
 		return Result{}, err
 	}
 	down := req.downSet()
-	asg, err := assignDemands(req, cells, down)
+
+	var asg [][]cluster.Demand
+	var err error
+	pprof.Do(ctx, pprof.Labels("placement_phase", "spread"), func(context.Context) {
+		asg, err = assignDemands(req, cells, down)
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -62,19 +77,21 @@ func searchHierarchical(req Request, cfg Config, sign float64) (Result, error) {
 		seeds[c] = seeder.StreamN("cell", c).Seed()
 	}
 	outs := make([]cellOutcome, len(cells))
-	var wg sync.WaitGroup
-	for c := range cells {
-		if len(asg[c]) == 0 {
-			continue
+	pprof.Do(ctx, pprof.Labels("placement_phase", "cells"), func(context.Context) {
+		var wg sync.WaitGroup
+		for c := range cells {
+			if len(asg[c]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				outs[c].ran = true
+				outs[c].res, outs[c].err = searchCell(req, cfg, cells[c], asg[c], down, seeds[c])
+			}(c)
 		}
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			outs[c].ran = true
-			outs[c].res, outs[c].err = searchCell(req, cfg, cells[c], asg[c], down, seeds[c])
-		}(c)
-	}
-	wg.Wait()
+		wg.Wait()
+	})
 
 	merged, err := cluster.NewPlacementLimit(req.NumHosts, req.SlotsPerHost, req.AppsPerHostLimit)
 	if err != nil {
@@ -104,7 +121,15 @@ func searchHierarchical(req Request, cfg Config, sign float64) (Result, error) {
 		}
 	}
 
-	best, exOut, err := exchangePhase(merged, req, cfg, sign, cells, down)
+	var best Result
+	var exOut exchangeOutcome
+	pprof.Do(ctx, pprof.Labels("placement_phase", "exchange"), func(context.Context) {
+		if cfg.ExchangeWorkers >= 2 {
+			best, exOut, err = exchangePhaseSpec(merged, req, cfg, sign, cells, down)
+		} else {
+			best, exOut, err = exchangePhase(merged, req, cfg, sign, cells, down)
+		}
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -116,6 +141,8 @@ func searchHierarchical(req Request, cfg Config, sign float64) (Result, error) {
 		cfg.Telemetry.Gauge(MetricCells).Set(float64(len(cells)))
 		cfg.Telemetry.Counter(MetricExchangeProposals).Add(exOut.proposals)
 		cfg.Telemetry.Counter(MetricExchangeAccepted).Add(exOut.accepted)
+		cfg.Telemetry.Counter(MetricExchangeConflicts).Add(exOut.conflicts)
+		cfg.Telemetry.Gauge(MetricExchangeBatchOccupancy).Set(exOut.occupancy)
 		cfg.Telemetry.Counter(MetricProposals).Add(exOut.proposals)
 		cfg.Telemetry.Counter(MetricAccepted).Add(exOut.accepted)
 		cfg.Telemetry.Counter(MetricRejected).Add(exOut.rejected)
@@ -149,6 +176,13 @@ func assignDemands(req Request, cells [][]int, down map[int]bool) ([][]cluster.D
 		free[c] = up * req.SlotsPerHost
 	}
 	out := make([][]cluster.Demand, len(cells))
+	// Pre-size each cell's demand list for the even-spread common case
+	// (one extra slot absorbs a split) — the greedy loop then appends
+	// without regrowing.
+	per := len(req.Demands)/len(cells) + 2
+	for c := range out {
+		out[c] = make([]cluster.Demand, 0, per)
+	}
 	for _, d := range req.Demands {
 		units := d.Units
 		for units > 0 {
@@ -216,13 +250,18 @@ func searchCell(req Request, cfg Config, hosts []int, demands []cluster.Demand, 
 	return Search(sub, scfg)
 }
 
-// exchangeOutcome carries the exchange phase's counters.
+// exchangeOutcome carries the exchange phase's counters. conflicts and
+// occupancy are only meaningful for the speculative parallel phase
+// (serial runs report 0 conflicts and occupancy 1: every evaluation is
+// authoritative).
 type exchangeOutcome struct {
 	evals     int
 	proposals uint64
 	accepted  uint64
 	rejected  uint64
 	invalid   uint64
+	conflicts uint64
+	occupancy float64
 	hits      uint64
 	misses    uint64
 	chits     uint64
@@ -235,9 +274,11 @@ type exchangeOutcome struct {
 // them through the incremental evaluator — the same apply/undo machinery
 // as runRestart, with the proposal distribution restricted to pairs that
 // cross a cell boundary (within-cell pairs were already annealed by the
-// cell phase).
+// cell phase). The draw discipline (geometry and acceptance uniforms
+// interleaved on one Stream("exchange")) is pinned by golden digests:
+// this serial phase must stay bit-identical across engine rework.
 func exchangePhase(cur *cluster.Placement, req Request, cfg Config, sign float64, cells [][]int, down map[int]bool) (Result, exchangeOutcome, error) {
-	var o exchangeOutcome
+	o := exchangeOutcome{occupancy: 1}
 	e, err := newIncEval(cur, req, cfg.QoS)
 	if err != nil {
 		return Result{}, o, err
@@ -246,16 +287,11 @@ func exchangePhase(cur *cluster.Placement, req Request, cfg Config, sign float64
 	curObj := e.objective(e.pred)
 	curEnergy := e.energy(curObj, e.pred)
 
-	var best Result
-	have := false
+	var bs bestState
 	consider := func(obj float64) {
 		qosOK := cfg.QoS == nil || e.qosValue() <= cfg.QoS.MaxNormalized
-		cand := Result{Objective: obj, QoSSatisfied: qosOK}
-		if betterResult(cfg.QoS != nil, sign, cand, best, have) {
-			cand.Placement = cur.Clone()
-			cand.Predicted = e.snapshot()
-			best = cand
-			have = true
+		if !bs.have || betterSnap(cfg.QoS != nil, sign, bestSnap{obj: obj, qosOK: qosOK}, bs.snap()) {
+			bs.note(e, obj, qosOK)
 		}
 	}
 	consider(curObj)
@@ -297,7 +333,7 @@ func exchangePhase(cur *cluster.Placement, req Request, cfg Config, sign float64
 			}
 			continue
 		}
-		candObj, candEnergy, err := e.evalSwapped(cur, ha, sa, hb, sb)
+		candObj, candEnergy, err := e.evalSwapped(ha, sa, hb, sb)
 		if err != nil {
 			return Result{}, o, err
 		}
@@ -324,5 +360,10 @@ func exchangePhase(cur *cluster.Placement, req Request, cfg Config, sign float64
 	o.finalTemp = temp
 	o.hits, o.misses = e.cache.Stats()
 	o.chits, o.cmisses = e.cache.CombineStats()
+	e.release()
+	best, err := bs.materialize(req.AppsPerHostLimit)
+	if err != nil {
+		return Result{}, o, err
+	}
 	return best, o, nil
 }

@@ -160,6 +160,20 @@ type Config struct {
 	// after the cell phase (hierarchical search only; 0 defaults to
 	// Iterations). Setting it with Cells <= 1 is a validation error.
 	ExchangeIters int
+	// ExchangeWorkers selects the exchange-phase execution mode. 0 or 1
+	// runs the serial annealer, bit-identical to every release since the
+	// cell-sharded search landed. N >= 2 runs deterministic speculative
+	// parallel annealing: proposals are drawn in batches up front,
+	// evaluated concurrently by N workers against a frozen snapshot, and
+	// committed in draw order with touched-host/touched-app conflict
+	// detection (conflicted proposals are re-evaluated serially). The
+	// speculative trajectory is a pure function of the seed — identical
+	// for every N >= 2 and every batch size — but it consumes its
+	// geometry and acceptance randomness on two separate streams, so its
+	// results differ from (while being statistically equivalent to) the
+	// serial annealer's. Setting it above 1 with Cells <= 1 is a
+	// validation error.
+	ExchangeWorkers int
 
 	// Telemetry, when non-nil, receives the search counters, acceptance
 	// rate, and the convergence series named by the Metric* constants
@@ -206,10 +220,17 @@ const (
 	MetricPredCacheCombineHits   = "placement_prediction_cache_combine_hits_total"
 	MetricPredCacheCombineMisses = "placement_prediction_cache_combine_misses_total"
 	// Hierarchical (cell-sharded) search: the cell count in use and the
-	// cross-cell exchange phase's proposal traffic.
-	MetricCells             = "placement_cells"
-	MetricExchangeProposals = "placement_exchange_proposals_total"
-	MetricExchangeAccepted  = "placement_exchange_accepted_total"
+	// cross-cell exchange phase's proposal traffic. Conflicts counts
+	// speculative proposals that had to be re-evaluated serially because
+	// an earlier commit in the same batch dirtied one of their hosts or
+	// apps (always 0 in serial mode); batch occupancy is the mean
+	// fraction of speculative evaluations per batch whose results were
+	// consumed as-is (1 in serial mode — all work is authoritative).
+	MetricCells                  = "placement_cells"
+	MetricExchangeProposals      = "placement_exchange_proposals_total"
+	MetricExchangeAccepted       = "placement_exchange_accepted_total"
+	MetricExchangeConflicts      = "placement_exchange_conflicts_total"
+	MetricExchangeBatchOccupancy = "placement_exchange_batch_occupancy"
 	// SeriesTemperature and SeriesBestObjective are convergence series:
 	// x is the global step index across restarts, y the temperature and
 	// the best objective seen so far, respectively.
@@ -220,6 +241,49 @@ const (
 // DefaultConfig returns the tuning used by the experiments.
 func DefaultConfig(seed int64) Config {
 	return Config{Iterations: 4000, InitTemp: 0.5, Seed: seed, Restarts: 3}
+}
+
+// Adaptive cell sizing (AdaptiveCells): fleets below the flat threshold
+// search flat (the paper-scale 8/32-host configurations must keep their
+// golden trajectories), larger fleets target ~128 hosts per cell, and
+// the cell count is raised toward the worker count — never past one
+// cell per 64 hosts — so the parallel cell phase can keep every worker
+// busy.
+const (
+	adaptiveFlatBelow       = 256
+	adaptiveTargetCellHosts = 128
+	adaptiveMinCellHosts    = 64
+)
+
+// AdaptiveCells derives a cell count from the fleet size and available
+// workers — the Cells=0 "pick for me" policy used by the command-line
+// layers (cmd/placer, cmd/interfd). It is deliberately not applied
+// inside Search itself: the library contract is that Cells=0 runs the
+// flat search bit-identically to the pre-cell engine, so opting into
+// sizing is the caller's choice.
+//
+// The formula: numHosts < 256 → 1 (flat); otherwise
+// max(numHosts/128, min(workers, numHosts/64)), clamped to [2,
+// numHosts].
+func AdaptiveCells(numHosts, workers int) int {
+	if numHosts < adaptiveFlatBelow {
+		return 1
+	}
+	cells := numHosts / adaptiveTargetCellHosts
+	if workers > cells {
+		if m := numHosts / adaptiveMinCellHosts; workers < m {
+			cells = workers
+		} else {
+			cells = m
+		}
+	}
+	if cells < 2 {
+		cells = 2
+	}
+	if cells > numHosts {
+		cells = numHosts
+	}
+	return cells
 }
 
 // Result is the outcome of a placement search.
@@ -379,6 +443,12 @@ func Search(req Request, cfg Config) (Result, error) {
 	if cfg.ExchangeIters > 0 && cfg.Cells <= 1 {
 		return Result{}, errors.New("placement: exchange iterations require Cells > 1 (there is no cross-cell phase in the flat search)")
 	}
+	if cfg.ExchangeWorkers < 0 {
+		return Result{}, fmt.Errorf("placement: negative exchange workers %d", cfg.ExchangeWorkers)
+	}
+	if cfg.ExchangeWorkers > 1 && cfg.Cells <= 1 {
+		return Result{}, errors.New("placement: exchange workers require Cells > 1 (there is no cross-cell phase in the flat search)")
+	}
 
 	sign := 1.0
 	if cfg.Goal == Worst {
@@ -441,14 +511,25 @@ func Search(req Request, cfg Config) (Result, error) {
 
 	// Deterministic merge in restart order: ties keep the earlier
 	// restart, exactly as a serial sweep's strict-improvement rule does.
-	var best Result
-	haveBest := false
+	// Only the winning restart's compact best state is materialized into
+	// a Placement + prediction map — the losers never allocate one.
+	win := -1
 	evals := 0
 	for i := range outs {
 		evals += outs[i].evals
-		if outs[i].have && betterResult(cfg.QoS != nil, sign, outs[i].best, best, haveBest) {
-			best = outs[i].best
-			haveBest = true
+		if !outs[i].bs.have {
+			continue
+		}
+		if win < 0 || betterSnap(cfg.QoS != nil, sign, outs[i].bs.snap(), outs[win].bs.snap()) {
+			win = i
+		}
+	}
+	var best Result
+	if win >= 0 {
+		var merr error
+		best, merr = outs[win].bs.materialize(req.AppsPerHostLimit)
+		if merr != nil {
+			return Result{}, merr
 		}
 	}
 	best.Evaluations = evals
@@ -460,7 +541,7 @@ func Search(req Request, cfg Config) (Result, error) {
 	// Replay the buffered restarts in serial order, merging each step's
 	// restart-local best with the best of all earlier restarts.
 	if record && cfg.Restarts > 1 {
-		merged := bestSnap{obj: outs[0].best.Objective, qosOK: outs[0].best.QoSSatisfied}
+		merged := outs[0].bs.snap()
 		for r := 1; r < cfg.Restarts; r++ {
 			temp := cfg.InitTemp
 			for it := 0; it < cfg.Iterations; it++ {
@@ -471,7 +552,7 @@ func Search(req Request, cfg Config) (Result, error) {
 				}
 				emit(r, it, temp, bs)
 			}
-			fin := bestSnap{obj: outs[r].best.Objective, qosOK: outs[r].best.QoSSatisfied}
+			fin := outs[r].bs.snap()
 			if betterSnap(cfg.QoS != nil, sign, fin, merged) {
 				merged = fin
 			}

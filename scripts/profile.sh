@@ -1,0 +1,31 @@
+#!/bin/sh
+# profile.sh — capture CPU and heap profiles from the fleet-scale
+# placement search benchmark. The search phases are tagged with pprof
+# labels (placement_phase = spread | cells | exchange), so the CPU
+# profile can be broken down per phase:
+#
+#   go tool pprof -tags profiles/fleetsearch.cpu
+#   go tool pprof -top -tagfocus placement_phase=exchange profiles/fleetsearch.cpu
+#
+# Usage:
+#   scripts/profile.sh                    # BenchmarkFleetSearch, 10 iterations
+#   BENCH=BenchmarkFleetSearchXL scripts/profile.sh
+#   BENCHTIME=30x PROFILE_DIR=/tmp/prof scripts/profile.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+bench="${BENCH:-BenchmarkFleetSearch}"
+benchtime="${BENCHTIME:-10x}"
+dir="${PROFILE_DIR:-profiles}"
+mkdir -p "$dir"
+
+go test -run '^$' -bench "^${bench}\$" -benchtime "$benchtime" -benchmem \
+  -cpuprofile "$dir/fleetsearch.cpu" -memprofile "$dir/fleetsearch.mem" \
+  -timeout 30m .
+
+echo
+echo "profiles written to $dir/fleetsearch.{cpu,mem}"
+echo "inspect with:"
+echo "  go tool pprof -top $dir/fleetsearch.cpu"
+echo "  go tool pprof -top -tagfocus placement_phase=exchange $dir/fleetsearch.cpu"
+echo "  go tool pprof -top -sample_index=alloc_objects $dir/fleetsearch.mem"
